@@ -1,0 +1,32 @@
+"""Small table printer shared by the benchmark harnesses.
+
+Each bench regenerates the data behind one of the paper's figures (or an
+extension experiment) and prints it as an aligned text table, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+artifacts alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def print_table(
+    title: str,
+    header: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[object]],
+) -> None:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(header[i])), *(len(row[i]) for row in cells)) if cells
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    print()
+    print(f"== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print(line)
+    for row in cells:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print(line)

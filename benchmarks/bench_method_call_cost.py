@@ -1,0 +1,123 @@
+"""EXP-TIME — temporal cost of synthesized guarded-method calls.
+
+The paper's stated future work: *"the evaluation of the temporal cost of
+the method calls: these are implemented with synchronous logic, and the
+completion of a transaction require an amount of time that depends on
+different factors (among which the number of concurrent processes
+accessing the same resource)."*
+
+This bench performs that evaluation: post-synthesis method-call latency
+in clock cycles as a function of the number of concurrent client
+processes, for each synthesizable arbitration policy.
+"""
+
+import pytest
+from _tables import print_table
+
+from repro.hdl import Clock, Module
+from repro.kernel import MS, NS, Simulator
+from repro.osss import (
+    FcfsArbiter,
+    GlobalObject,
+    RandomArbiter,
+    RoundRobinArbiter,
+    StaticPriorityArbiter,
+    connect,
+    guarded_method,
+)
+from repro.synthesis import SynthesisConfig, synthesize_communication
+
+CLOCK_PERIOD = 10 * NS
+CALLS_PER_CLIENT = 20
+
+
+class Accumulator:
+    def __init__(self):
+        self.total = 0
+
+    @guarded_method()
+    def add(self, n):
+        self.total += n
+        return self.total
+
+
+def _measure(n_clients, arbiter):
+    sim = Simulator()
+    clock = Clock(sim, "clock", period=CLOCK_PERIOD)
+    handles = []
+    for i in range(n_clients):
+        module = Module(sim, f"client{i}")
+        handles.append(
+            GlobalObject(module, "acc", Accumulator,
+                         arbiter=arbiter if i == 0 else None)
+        )
+    connect(*handles)
+    result = synthesize_communication(
+        sim, clock.clk, SynthesisConfig(emit_hdl=False)
+    )
+    channel = result.groups[0].channel
+
+    finished = [0]
+
+    def make_client(handle):
+        def client():
+            for __ in range(CALLS_PER_CLIENT):
+                yield from handle.add(1)
+            finished[0] += 1
+            if finished[0] == n_clients:
+                sim.stop()
+        return client
+
+    for i, handle in enumerate(handles):
+        sim.spawn(make_client(handle), f"proc{i}")
+    sim.run(100 * MS)
+    assert channel.calls_serviced == n_clients * CALLS_PER_CLIENT
+    mean_cycles = channel.mean_call_cycles(CLOCK_PERIOD)
+    max_wait = max(r.wait_time for r in channel.call_log) // CLOCK_PERIOD
+    return mean_cycles, max_wait
+
+
+POLICIES = [
+    ("fcfs", FcfsArbiter),
+    ("round_robin", RoundRobinArbiter),
+    ("static_priority", lambda: StaticPriorityArbiter({})),
+    ("random", lambda: RandomArbiter(seed=4)),
+]
+
+
+@pytest.mark.parametrize("n_clients", [1, 2, 4, 8])
+def test_exp_time_latency_vs_clients(benchmark, n_clients):
+    mean_cycles, __ = benchmark.pedantic(
+        _measure, args=(n_clients, FcfsArbiter()), rounds=1, iterations=1
+    )
+    # Uncontended calls take a handful of cycles; contention adds queueing.
+    assert mean_cycles >= 3.0
+    if n_clients >= 4:
+        assert mean_cycles > 6.0
+
+
+def test_exp_time_full_sweep(benchmark):
+    def sweep():
+        rows = []
+        for policy_name, factory in POLICIES:
+            for n_clients in (1, 2, 4, 8):
+                mean_cycles, max_wait = _measure(n_clients, factory())
+                rows.append([policy_name, n_clients,
+                             f"{mean_cycles:.1f}", max_wait])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "EXP-TIME: post-synthesis method-call cost "
+        f"({CALLS_PER_CLIENT} calls/client, clock {CLOCK_PERIOD // NS} ns)",
+        ["arbiter", "clients", "mean cycles/call", "max wait (cycles)"],
+        rows,
+    )
+    # The paper's expectation: cost grows with concurrent processes.
+    by_policy = {}
+    for row in rows:
+        by_policy.setdefault(row[0], []).append(float(row[2]))
+    for policy_name, series in by_policy.items():
+        assert series[-1] > series[0], (
+            f"{policy_name}: latency did not grow with contention: {series}"
+        )

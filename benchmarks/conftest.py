@@ -1,0 +1,9 @@
+"""Benchmark configuration: in-tree import path."""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (os.path.join(_ROOT, "src"), os.path.join(_ROOT, "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The complete design flow of the paper's Figure 2.
+
+specifications -> functional model -> validation -> refinement ->
+implementation model -> communication synthesis -> post-synthesis
+validation — each stage driven by :class:`repro.flow.DesignFlow` and
+reported with its outcome and cost.
+
+Run:  python examples/design_flow.py
+"""
+
+from repro.core import generate_workload
+from repro.flow import DesignFlow, standard_flow_builders
+from repro.kernel import MS
+
+
+def main():
+    specification = {
+        "name": "pci-device-under-design",
+        "bus": "pci",
+        "description": (
+            "an application performing a series of bus transactions, "
+            "to be implemented behind a PCI bus interface"
+        ),
+    }
+    workloads = [
+        generate_workload(seed=11, n_commands=25, address_base=0x000,
+                          address_span=0x400, max_burst=4),
+        generate_workload(seed=13, n_commands=25, address_base=0x400,
+                          address_span=0x400, max_burst=4),
+    ]
+    flow = DesignFlow(specification, *standard_flow_builders(workloads))
+    report = flow.run(50 * MS)
+
+    print(report.summary())
+    assert report.succeeded
+
+    synthesis = report.synthesis_result
+    assert synthesis is not None
+    print()
+    print(synthesis.report.render())
+    print()
+    print("generated Verilog (first lines):")
+    for line in synthesis.groups[0].verilog.splitlines()[:14]:
+        print(f"  {line}")
+    print("design_flow OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Hardware polymorphism (the SystemC+ late-binding feature).
+
+A polymorphic variable bounded to three CRC-generator variants behind a
+common base class: behaviourally a late-bound call, in hardware a tag
+register plus a dispatch multiplexer. The example exercises both and
+prints the synthesized dispatch netlist.
+
+Run:  python examples/polymorphism.py
+"""
+
+from repro.osss import PolymorphicVar
+from repro.synthesis import emit_verilog, synthesize_dispatch
+
+
+class ChecksumUnit:
+    """Common interface of the bounded class set."""
+
+    def compute(self, data):
+        raise NotImplementedError
+
+    def name(self):
+        raise NotImplementedError
+
+
+class XorChecksum(ChecksumUnit):
+    def __init__(self):
+        self.accumulator = 0
+
+    def compute(self, data):
+        value = 0
+        for word in data:
+            value ^= word
+        self.accumulator = value
+        return value
+
+    def name(self):
+        return "xor"
+
+
+class AddChecksum(ChecksumUnit):
+    def __init__(self):
+        self.accumulator = 0
+
+    def compute(self, data):
+        value = sum(data) & 0xFFFFFFFF
+        self.accumulator = value
+        return value
+
+    def name(self):
+        return "add"
+
+
+class Crc8Checksum(ChecksumUnit):
+    """Bytewise CRC-8 (polynomial 0x07)."""
+
+    def __init__(self):
+        self.accumulator = 0
+
+    def compute(self, data):
+        crc = 0
+        for word in data:
+            for shift in (0, 8, 16, 24):
+                crc ^= (word >> shift) & 0xFF
+                for __ in range(8):
+                    crc = ((crc << 1) ^ 0x07) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+        self.accumulator = crc
+        return crc
+
+    def name(self):
+        return "crc8"
+
+
+def main():
+    variable = PolymorphicVar(
+        ChecksumUnit, [XorChecksum, AddChecksum, Crc8Checksum], name="checker"
+    )
+    data = [0xDEADBEEF, 0x12345678, 0x0BADF00D]
+
+    print(f"bounded class set: {[v.__name__ for v in variable.variants]}")
+    print(f"tag register width: {variable.tag_bits} bit(s)")
+    print()
+    for variant in (XorChecksum(), AddChecksum(), Crc8Checksum()):
+        variable.assign(variant)  # "pointer assignment" -> tag update
+        result = variable.call("compute", data)  # late-bound invocation
+        print(f"tag={variable.tag}  {variable.call('name')}: {result:#x}")
+
+    # The dispatch table is what the synthesizer turns into a multiplexer.
+    table = variable.dispatch_table("compute")
+    assert len(table) == 3
+
+    module, info = synthesize_dispatch(variable)
+    print()
+    print(f"synthesized dispatch: {info!r}")
+    print()
+    print("generated Verilog (first lines):")
+    for line in emit_verilog(module).splitlines()[:20]:
+        print(f"  {line}")
+    print("polymorphism OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Quickstart: global objects with guarded methods (the paper's Figure 1).
+
+Two modules each instantiate a ``Bistable`` global object; a third
+instance lives at the top level. All three are connected, so they share
+one state space: a ``set()`` performed by the first module is observed
+by the second, and a guarded ``wait_true()`` suspends its caller until
+the shared state satisfies the guard.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.hdl import Module
+from repro.kernel import NS, Simulator, Timeout
+from repro.osss import GlobalObject, connect, guarded_method
+
+
+class Bistable:
+    """The shared bistable of the paper's Figure 1."""
+
+    def __init__(self):
+        self.state = False
+
+    @guarded_method()
+    def set(self):
+        self.state = True
+
+    @guarded_method()
+    def clear(self):
+        self.state = False
+
+    @guarded_method()
+    def get_state(self):
+        return self.state
+
+    @guarded_method(lambda self: self.state)
+    def wait_true(self):
+        """Blocks the caller until some module has called set()."""
+        return self.state
+
+
+class SetterModule(Module):
+    """Invokes set() on its local instance after 50 ns."""
+
+    def __init__(self, parent, name):
+        super().__init__(parent, name)
+        self.bistable = GlobalObject(self, "bistable", Bistable)
+        self.thread(self._run)
+
+    def _run(self):
+        yield Timeout(50 * NS)
+        yield from self.bistable.set()
+        print(f"[{self.sim.time_str()}] {self.path}: set() done")
+
+
+class ObserverModule(Module):
+    """Polls once, then blocks on the guard until the state flips."""
+
+    def __init__(self, parent, name):
+        super().__init__(parent, name)
+        self.bistable = GlobalObject(self, "bistable", Bistable)
+        self.thread(self._run)
+
+    def _run(self):
+        early = yield from self.bistable.get_state()
+        print(f"[{self.sim.time_str()}] {self.path}: early get_state() -> {early}")
+        value = yield from self.bistable.wait_true()
+        print(
+            f"[{self.sim.time_str()}] {self.path}: wait_true() returned {value} "
+            "(was suspended until the setter acted)"
+        )
+
+
+def main():
+    sim = Simulator()
+    setter = SetterModule(sim, "module1")
+    observer = ObserverModule(sim, "module2")
+
+    # The third bistable "at top level" of Figure 1 (owned by module1 here
+    # purely for naming; any module can host it).
+    top_level = GlobalObject(setter, "top_bistable", Bistable)
+
+    # Connecting merges the three state spaces into one.
+    connect(setter.bistable, observer.bistable, top_level)
+
+    sim.run(200 * NS)
+
+    state = observer.bistable.state
+    print(f"final shared state: {state.state}")
+    print(f"grants by client:   {observer.bistable.stats.grants_by_client}")
+    assert state.state is True
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

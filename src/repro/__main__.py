@@ -1,0 +1,140 @@
+"""Command-line demo driver: ``python -m repro <command>``.
+
+Commands:
+
+* ``flow``        — run the Figure 2 design flow end to end.
+* ``refine``      — the Figure 3 interface-swap comparison.
+* ``waveforms``   — simulate the synthesized PCI handler, dump a VCD and
+  print ASCII waveforms (Figure 4).
+* ``library``     — list the interface library contents.
+* ``report``      — synthesize the example design and print the netlist
+  report (add ``--verilog`` / ``--vhdl`` to print the generated HDL).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import compare_refinement, default_library, generate_workload
+from .flow import (
+    DesignFlow,
+    PciPlatformConfig,
+    build_functional_platform,
+    build_pci_platform,
+    standard_flow_builders,
+)
+from .kernel import MS, NS
+from .trace import VcdTracer, WaveformCapture, render
+
+
+def _default_workloads(seed: int, n_commands: int):
+    return [generate_workload(seed=seed, n_commands=n_commands,
+                              address_span=0x400, max_burst=4)]
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    flow = DesignFlow(
+        {"name": "pci-device-under-design", "bus": "pci"},
+        *standard_flow_builders(_default_workloads(args.seed, args.commands)),
+    )
+    report = flow.run(200 * MS)
+    print(report.summary())
+    return 0 if report.succeeded else 1
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    workloads = _default_workloads(args.seed, args.commands)
+    report = compare_refinement(
+        lambda: build_functional_platform(workloads).handle,
+        lambda: build_pci_platform(workloads).handle,
+        max_time=200 * MS,
+    )
+    print(report.summary())
+    return 0 if report.consistent else 1
+
+
+def _cmd_waveforms(args: argparse.Namespace) -> int:
+    from .core import CommandType
+
+    commands = [
+        CommandType.write(0x100, [0xDEADBEEF, 0x12345678, 0xCAFEF00D]),
+        CommandType.read(0x100, count=3),
+    ]
+    bundle = build_pci_platform(
+        [commands], PciPlatformConfig(wait_states=1), synthesize=True
+    )
+    sim = bundle.handle.sim
+    capture = WaveformCapture()
+    watched = [bundle.clock.clk] + bundle.bus.shared_signals()
+    capture.add_signals(watched)
+    sim.add_tracer(capture)
+    vcd = VcdTracer(args.vcd)
+    vcd.add_signals(watched)
+    sim.add_tracer(vcd)
+    bundle.run(10 * MS)
+    vcd.close(sim.time)
+    labels = {s.name: s.name.rsplit(".", 1)[-1] for s in watched}
+    print(render(capture, [s.name for s in watched], 0, 2400 * NS, 15 * NS,
+                 labels=labels, time_unit=30 * NS))
+    print(f"\nwrote {args.vcd}")
+    return 0
+
+
+def _cmd_library(args: argparse.Namespace) -> int:
+    library = default_library()
+    for bus, abstraction in library.available():
+        element = library.lookup(bus, abstraction)
+        print(f"{bus:10s} {abstraction:14s} {element.__name__}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    bundle = build_pci_platform(
+        _default_workloads(args.seed, args.commands), synthesize=True
+    )
+    synthesis = bundle.synthesis
+    print(synthesis.report.render())
+    if args.verilog:
+        print()
+        print(synthesis.all_verilog())
+    if args.vhdl:
+        print()
+        print(synthesis.all_vhdl())
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="High Level Communication Synthesis reproduction demos",
+    )
+    parser.add_argument("--seed", type=int, default=11,
+                        help="workload seed (default 11)")
+    parser.add_argument("--commands", type=int, default=20,
+                        help="commands per application (default 20)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("flow", help="run the Figure 2 design flow")
+    sub.add_parser("refine", help="Figure 3 interface-swap comparison")
+    waveforms = sub.add_parser("waveforms", help="Figure 4 waveform dump")
+    waveforms.add_argument("--vcd", default="repro_waveforms.vcd",
+                           help="output VCD path")
+    sub.add_parser("library", help="list interface library contents")
+    report = sub.add_parser("report", help="print the synthesis report")
+    report.add_argument("--verilog", action="store_true",
+                        help="also print generated Verilog")
+    report.add_argument("--vhdl", action="store_true",
+                        help="also print generated VHDL")
+    args = parser.parse_args(argv)
+    handlers = {
+        "flow": _cmd_flow,
+        "refine": _cmd_refine,
+        "waveforms": _cmd_waveforms,
+        "library": _cmd_library,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the bus-interface design pattern.
+
+* :class:`BusInterfaceChannel` — the global object with the paper's
+  guarded methods (putCommand / getCommand / appDataGet / reset);
+* :class:`BusInterface` — the pattern every library element follows;
+* :class:`PciBusInterface` — the pin-accurate PCI library element;
+* :class:`FunctionalBusInterface` — the transaction-level element;
+* :class:`InterfaceLibrary` — pick-the-right-IP registry;
+* :class:`Application` — guarded-method stimuli generators;
+* refinement helpers reproducing the Figure 3 swap.
+"""
+
+from .application import Application, TransactionRecord, wait_for_all
+from .bus_interface import BusInterface, BusInterfaceChannel
+from .command import READ, WRITE, CommandType, DataType
+from .functional_interface import FunctionalBusInterface
+from .library import InterfaceLibrary, default_library
+from .nonblocking import NonBlockingBusInterfaceChannel, PollingApplication
+from .pci_interface import PciBusInterface
+from .refinement import (
+    PlatformHandle,
+    RefinementReport,
+    RunResult,
+    compare_refinement,
+)
+from .workload import expected_memory_image, generate_workload, sequential_fill
+
+__all__ = [
+    "Application",
+    "BusInterface",
+    "BusInterfaceChannel",
+    "CommandType",
+    "DataType",
+    "FunctionalBusInterface",
+    "InterfaceLibrary",
+    "NonBlockingBusInterfaceChannel",
+    "PciBusInterface",
+    "PollingApplication",
+    "PlatformHandle",
+    "READ",
+    "RefinementReport",
+    "RunResult",
+    "TransactionRecord",
+    "WRITE",
+    "compare_refinement",
+    "default_library",
+    "expected_memory_image",
+    "generate_workload",
+    "sequential_fill",
+    "wait_for_all",
+]

@@ -1,0 +1,72 @@
+"""The PCI library element: pin-accurate bus interface.
+
+This is the representative library component the paper implements: *"an
+handler of a simplified version of the PCI bus ... receives requests by
+an application in the form of function and procedure invocation and
+translates them into pin-level PCI operation requests."*
+
+Structure (paper, Section 1): the interface module consists of
+
+* one global object (the :class:`~repro.core.bus_interface.
+  BusInterfaceChannel`) to communicate with the application, and
+* several processes implementing the pin-level PCI protocol — here the
+  command dispatcher plus the :class:`~repro.pci.master.PciMaster`
+  engine it drives.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module
+from ..hdl.signal import Signal
+from ..osss.arbiter import Arbiter
+from ..pci.constants import STATUS_OK
+from ..pci.master import PciMaster
+from ..pci.signals import PciBus
+from .bus_interface import BusInterface
+from .command import DataType
+
+
+class PciBusInterface(BusInterface):
+    """Pin-accurate PCI interface element.
+
+    :param bus: the PCI wire bundle to attach to.
+    :param clk: the bus clock.
+    :param master_index: which REQ#/GNT# pair to use.
+    """
+
+    BUS_NAME = "pci"
+    ABSTRACTION = "pin_accurate"
+
+    def __init__(
+        self,
+        parent: Module,
+        name: str,
+        bus: PciBus,
+        clk: Signal,
+        master_index: int = 0,
+        arbiter: Arbiter | None = None,
+        response_capacity: int = 4,
+        channel_cls: type | None = None,
+    ) -> None:
+        from .bus_interface import BusInterfaceChannel
+
+        super().__init__(parent, name, arbiter, response_capacity,
+                         channel_cls or BusInterfaceChannel)
+        self.bus = bus
+        self.clk = clk
+        self.master = PciMaster(self, "master", bus, clk, master_index)
+        self.operations_failed = 0
+        self.thread(self._dispatch, "dispatch")
+
+    def _dispatch(self):
+        """Forever: take a command from the channel, run it on the pins."""
+        while True:
+            epoch, command = yield from self.channel.call("get_command")
+            operation = command.to_pci_operation()
+            yield from self.master.transact(operation)
+            self.commands_serviced += 1
+            if operation.status != STATUS_OK:
+                self.operations_failed += 1
+            if command.is_read:
+                response = DataType(operation.data, operation.status)
+                yield from self.channel.call("put_response", epoch, response)

@@ -1,0 +1,23 @@
+"""The Figure 2 design flow driver and the canonical example platforms."""
+
+from .design_flow import DesignFlow, FlowReport, FlowStage
+from .platforms import (
+    PciPlatformConfig,
+    PlatformBundle,
+    build_functional_platform,
+    build_pci_platform,
+    build_wishbone_platform,
+    standard_flow_builders,
+)
+
+__all__ = [
+    "DesignFlow",
+    "FlowReport",
+    "FlowStage",
+    "PciPlatformConfig",
+    "PlatformBundle",
+    "build_functional_platform",
+    "build_pci_platform",
+    "build_wishbone_platform",
+    "standard_flow_builders",
+]

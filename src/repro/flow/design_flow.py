@@ -1,0 +1,164 @@
+"""The end-to-end design flow of the paper's Figure 2.
+
+Stages::
+
+    specifications
+        -> functional system model        (units under design + functional
+                                           IPs + stimuli generators)
+        -> validation by simulation
+        -> communication refinement       (library interface swap)
+        -> implementation model           (pin-accurate bus interface)
+        -> communication synthesis        (the ODETTE tool)
+        -> post-synthesis validation      (re-simulate, check consistency)
+
+:class:`DesignFlow` drives the stages over user-supplied platform
+builders and records a :class:`FlowReport` with every intermediate
+result — the programmatic equivalent of walking Figure 2 top to bottom.
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+
+from ..core.refinement import PlatformHandle, RunResult
+from ..errors import RefinementError
+from ..verify.consistency import ConsistencyReport, check_traces
+
+#: Signature of the functional-model builder.
+FunctionalBuilder = typing.Callable[[], PlatformHandle]
+#: Signature of the implementation-model builder; the flag selects
+#: whether communication synthesis is applied. Returns the platform and
+#: the synthesis result (None when not synthesizing).
+ImplementationBuilder = typing.Callable[
+    [bool], tuple[PlatformHandle, typing.Optional[object]]
+]
+
+
+class FlowStage:
+    """Record of one executed flow stage."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.status = "pending"
+        self.wall_seconds = 0.0
+        self.detail = ""
+
+    def __repr__(self) -> str:
+        return f"FlowStage({self.name}: {self.status})"
+
+
+class FlowReport:
+    """Everything the flow produced, stage by stage."""
+
+    def __init__(self, design_name: str) -> None:
+        self.design_name = design_name
+        self.stages: list[FlowStage] = []
+        self.functional_result: RunResult | None = None
+        self.implementation_result: RunResult | None = None
+        self.post_synthesis_result: RunResult | None = None
+        self.refinement_check: ConsistencyReport | None = None
+        self.synthesis_check: ConsistencyReport | None = None
+        self.synthesis_result: object | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return all(stage.status == "ok" for stage in self.stages)
+
+    def summary(self) -> str:
+        lines = [f"design flow report: {self.design_name}"]
+        for stage in self.stages:
+            lines.append(
+                f"  [{stage.status:>4}] {stage.name} "
+                f"({stage.wall_seconds:.3f}s){': ' + stage.detail if stage.detail else ''}"
+            )
+        return "\n".join(lines)
+
+
+class DesignFlow:
+    """Drives the Figure 2 flow over a pair of platform builders.
+
+    :param specification: free-form description; must at least name the
+        design (checked as the flow's first stage).
+    :param functional_builder: builds the high-level executable model.
+    :param implementation_builder: builds the implementation model, with
+        or without communication synthesis applied.
+    """
+
+    def __init__(
+        self,
+        specification: typing.Mapping[str, object],
+        functional_builder: FunctionalBuilder,
+        implementation_builder: ImplementationBuilder,
+    ) -> None:
+        self.specification = dict(specification)
+        self.functional_builder = functional_builder
+        self.implementation_builder = implementation_builder
+
+    def run(self, max_time: int) -> FlowReport:
+        """Execute every stage; raises on hard failures."""
+        name = str(self.specification.get("name", "unnamed-design"))
+        report = FlowReport(name)
+
+        with _stage(report, "check specifications") as stage:
+            if "name" not in self.specification:
+                raise RefinementError("specification must carry a 'name'")
+            stage.detail = ", ".join(sorted(self.specification))
+
+        with _stage(report, "build + simulate functional model") as stage:
+            report.functional_result = self.functional_builder().run(max_time)
+            stage.detail = repr(report.functional_result)
+
+        with _stage(report, "refine communication (library swap)") as stage:
+            platform, __ = self.implementation_builder(False)
+            report.implementation_result = platform.run(max_time)
+            stage.detail = repr(report.implementation_result)
+
+        with _stage(report, "validate refinement") as stage:
+            assert report.functional_result and report.implementation_result
+            report.refinement_check = check_traces(
+                report.functional_result.traces,
+                report.implementation_result.traces,
+                "functional",
+                "implementation",
+            )
+            report.refinement_check.require_consistent()
+            stage.detail = f"{report.refinement_check.compared_items} items equal"
+
+        with _stage(report, "communication synthesis") as stage:
+            platform, synthesis = self.implementation_builder(True)
+            report.synthesis_result = synthesis
+            report.post_synthesis_result = platform.run(max_time)
+            stage.detail = repr(report.post_synthesis_result)
+
+        with _stage(report, "post-synthesis validation") as stage:
+            assert report.implementation_result and report.post_synthesis_result
+            report.synthesis_check = check_traces(
+                report.implementation_result.traces,
+                report.post_synthesis_result.traces,
+                "pre-synthesis",
+                "post-synthesis",
+            )
+            report.synthesis_check.require_consistent()
+            stage.detail = f"{report.synthesis_check.compared_items} items equal"
+
+        return report
+
+
+class _stage:
+    """Context manager recording one stage's outcome and wall time."""
+
+    def __init__(self, report: FlowReport, name: str) -> None:
+        self.report = report
+        self.stage = FlowStage(name)
+
+    def __enter__(self) -> FlowStage:
+        self.report.stages.append(self.stage)
+        self._started = time.perf_counter()
+        return self.stage
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stage.wall_seconds = time.perf_counter() - self._started
+        self.stage.status = "ok" if exc_type is None else "FAIL"
+        if exc is not None and not self.stage.detail:
+            self.stage.detail = str(exc)

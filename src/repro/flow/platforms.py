@@ -1,0 +1,313 @@
+"""Canonical executable platforms for the paper's PCI example.
+
+Both platforms host the same IPs (a memory and a register-block
+peripheral) behind the same address map, and the same applications —
+only the bus interface element differs, which is exactly the paper's
+refinement claim. Examples, tests and benches build their systems
+through these helpers instead of hand-wiring testbenches.
+
+Address map::
+
+    0x0000_0000 .. +mem_size   memory
+    peripheral_base .. +0x10   status register block
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..core.application import Application
+from ..core.command import CommandType
+from ..core.functional_interface import FunctionalBusInterface
+from ..core.pci_interface import PciBusInterface
+from ..core.refinement import PlatformHandle
+from ..errors import RefinementError
+from ..hdl.clock import Clock
+from ..hdl.module import Module
+from ..kernel.simtime import NS
+from ..kernel.simulator import Simulator
+from ..osss.arbiter import Arbiter
+from ..pci.arbiter import PciCentralArbiter
+from ..pci.monitor import PciMonitor
+from ..pci.signals import PciBus
+from ..pci.target import PciTarget
+from ..tlm.memory import Memory
+from ..tlm.peripheral import StatusRegisterBlock
+from ..tlm.router import AddressRouter
+
+
+class PciPlatformConfig:
+    """Shared knobs of the example platforms."""
+
+    def __init__(
+        self,
+        clock_period: int = 30 * NS,
+        mem_size: int = 1 << 16,
+        peripheral_base: int = 0x0001_0000,
+        decode_latency: int = 1,
+        wait_states: int = 0,
+        retry_count: int = 0,
+        disconnect_after: int | None = None,
+        word_latency: int = 0,
+        arbiter: Arbiter | None = None,
+        response_capacity: int = 4,
+        monitor_strict: bool = True,
+    ) -> None:
+        self.clock_period = clock_period
+        self.mem_size = mem_size
+        self.peripheral_base = peripheral_base
+        self.decode_latency = decode_latency
+        self.wait_states = wait_states
+        self.retry_count = retry_count
+        self.disconnect_after = disconnect_after
+        self.word_latency = word_latency
+        self.arbiter = arbiter
+        self.response_capacity = response_capacity
+        self.monitor_strict = monitor_strict
+
+
+class PlatformBundle:
+    """A built platform plus handles on its interesting pieces."""
+
+    def __init__(
+        self,
+        handle: PlatformHandle,
+        top: Module,
+        memory: Memory,
+        peripheral: StatusRegisterBlock,
+        interface,
+        monitor=None,
+        clock: Clock | None = None,
+        synthesis: object | None = None,
+        bus: PciBus | None = None,
+    ) -> None:
+        self.handle = handle
+        self.top = top
+        self.memory = memory
+        self.peripheral = peripheral
+        self.interface = interface
+        #: Bus monitor (PciMonitor or WishboneMonitor), when present.
+        self.monitor = monitor
+        self.clock = clock
+        self.synthesis = synthesis
+        self.bus = bus
+
+    def run(self, max_time: int):
+        return self.handle.run(max_time)
+
+
+def build_functional_platform(
+    workloads: typing.Sequence[typing.Sequence[CommandType]],
+    config: PciPlatformConfig | None = None,
+    label: str = "functional",
+) -> PlatformBundle:
+    """The high-level executable model: TLM interface, functional IPs."""
+    config = config or PciPlatformConfig()
+    sim = Simulator()
+
+    class FunctionalTop(Module):
+        def __init__(self, parent: Simulator, name: str) -> None:
+            super().__init__(parent, name)
+            self.memory = Memory(config.mem_size)
+            self.peripheral = StatusRegisterBlock()
+            router = AddressRouter()
+            router.add_target(0, config.mem_size, self.memory, "mem")
+            router.add_target(config.peripheral_base, 0x10, self.peripheral, "regs")
+            self.interface = FunctionalBusInterface(
+                self,
+                "interface",
+                router,
+                word_latency=config.word_latency,
+                arbiter=config.arbiter,
+                response_capacity=config.response_capacity,
+            )
+            self.apps = [
+                Application(self, f"app{i}", commands, self.interface)
+                for i, commands in enumerate(workloads)
+            ]
+
+    top = FunctionalTop(sim, "top")
+    interface = top.interface
+    handle = PlatformHandle(
+        sim, top.apps, label,
+        quiesce=lambda: (
+            interface.channel_state.commands_put == interface.commands_serviced
+        ),
+        quiesce_poll=NS,
+    )
+    return PlatformBundle(
+        handle, top, top.memory, top.peripheral, top.interface
+    )
+
+
+def build_pci_platform(
+    workloads: typing.Sequence[typing.Sequence[CommandType]],
+    config: PciPlatformConfig | None = None,
+    synthesize: bool = False,
+    label: str | None = None,
+    synthesis_config: object | None = None,
+) -> PlatformBundle:
+    """The implementation model: pin-accurate PCI interface + targets.
+
+    :param synthesize: apply communication synthesis to every
+        global-object channel before returning (the paper's step 2).
+    """
+    config = config or PciPlatformConfig()
+    sim = Simulator()
+
+    class PciTop(Module):
+        def __init__(self, parent: Simulator, name: str) -> None:
+            super().__init__(parent, name)
+            self.clock = Clock(self, "clock", period=config.clock_period)
+            self.bus = PciBus(self, "bus", n_masters=1)
+            self.pci_arbiter = PciCentralArbiter(
+                self, "pci_arbiter", self.bus, self.clock.clk
+            )
+            self.memory = Memory(config.mem_size)
+            self.peripheral = StatusRegisterBlock()
+            self.mem_target = PciTarget(
+                self, "mem_target", self.bus, self.clock.clk, self.memory,
+                base=0, size=config.mem_size,
+                decode_latency=config.decode_latency,
+                wait_states=config.wait_states,
+                retry_count=config.retry_count,
+                disconnect_after=config.disconnect_after,
+            )
+            self.reg_target = PciTarget(
+                self, "reg_target", self.bus, self.clock.clk, self.peripheral,
+                base=config.peripheral_base, size=0x10,
+                decode_latency=config.decode_latency,
+            )
+            self.monitor = PciMonitor(
+                self, "monitor", self.bus, self.clock.clk,
+                strict=config.monitor_strict,
+            )
+            self.interface = PciBusInterface(
+                self,
+                "interface",
+                self.bus,
+                self.clock.clk,
+                arbiter=config.arbiter,
+                response_capacity=config.response_capacity,
+            )
+            self.apps = [
+                Application(self, f"app{i}", commands, self.interface)
+                for i, commands in enumerate(workloads)
+            ]
+
+    top = PciTop(sim, "top")
+    synthesis = None
+    if synthesize:
+        from ..synthesis.tool import synthesize_communication
+
+        synthesis = synthesize_communication(
+            sim, top.clock.clk, synthesis_config  # type: ignore[arg-type]
+        )
+    if label is None:
+        label = "post_synthesis" if synthesize else "pin_accurate"
+    interface = top.interface
+    handle = PlatformHandle(
+        sim, top.apps, label,
+        quiesce=lambda: (
+            interface.channel_state.commands_put == interface.commands_serviced
+        ),
+        quiesce_poll=config.clock_period,
+    )
+    return PlatformBundle(
+        handle, top, top.memory, top.peripheral, top.interface,
+        monitor=top.monitor, clock=top.clock, synthesis=synthesis,
+        bus=top.bus,
+    )
+
+
+def build_wishbone_platform(
+    workloads: typing.Sequence[typing.Sequence[CommandType]],
+    config: PciPlatformConfig | None = None,
+    synthesize: bool = False,
+    label: str | None = None,
+) -> PlatformBundle:
+    """The same system behind the library's Wishbone interface element.
+
+    Identical IPs and address map to the PCI platforms; only the bus and
+    its interface element differ — the "pick a different IP from the
+    library" move.
+    """
+    from ..wishbone.interface import WishboneBusInterface
+    from ..wishbone.monitor import WishboneMonitor
+    from ..wishbone.signals import WishboneBus
+    from ..wishbone.slave import WishboneSlave
+
+    config = config or PciPlatformConfig()
+    sim = Simulator()
+
+    class WishboneTop(Module):
+        def __init__(self, parent: Simulator, name: str) -> None:
+            super().__init__(parent, name)
+            self.clock = Clock(self, "clock", period=config.clock_period)
+            self.bus = WishboneBus(self, "bus")
+            self.memory = Memory(config.mem_size)
+            self.peripheral = StatusRegisterBlock()
+            self.mem_slave = WishboneSlave(
+                self, "mem_slave", self.bus, self.clock.clk, self.memory,
+                base=0, size=config.mem_size,
+                ack_latency=config.wait_states,
+            )
+            self.reg_slave = WishboneSlave(
+                self, "reg_slave", self.bus, self.clock.clk, self.peripheral,
+                base=config.peripheral_base, size=0x10,
+            )
+            self.monitor = WishboneMonitor(
+                self, "monitor", self.bus, self.clock.clk,
+                strict=config.monitor_strict,
+            )
+            self.interface = WishboneBusInterface(
+                self,
+                "interface",
+                self.bus,
+                self.clock.clk,
+                arbiter=config.arbiter,
+                response_capacity=config.response_capacity,
+            )
+            self.apps = [
+                Application(self, f"app{i}", commands, self.interface)
+                for i, commands in enumerate(workloads)
+            ]
+
+    top = WishboneTop(sim, "top")
+    synthesis = None
+    if synthesize:
+        from ..synthesis.tool import synthesize_communication
+
+        synthesis = synthesize_communication(sim, top.clock.clk)
+    if label is None:
+        label = "wishbone_post_synthesis" if synthesize else "wishbone"
+    interface = top.interface
+    handle = PlatformHandle(
+        sim, top.apps, label,
+        quiesce=lambda: (
+            interface.channel_state.commands_put == interface.commands_serviced
+        ),
+        quiesce_poll=config.clock_period,
+    )
+    return PlatformBundle(
+        handle, top, top.memory, top.peripheral, top.interface,
+        monitor=top.monitor, clock=top.clock, synthesis=synthesis,
+    )
+
+
+def standard_flow_builders(
+    workloads: typing.Sequence[typing.Sequence[CommandType]],
+    config: PciPlatformConfig | None = None,
+):
+    """(functional_builder, implementation_builder) for :class:`DesignFlow`."""
+    if not workloads:
+        raise RefinementError("standard platforms need at least one workload")
+
+    def functional_builder():
+        return build_functional_platform(workloads, config).handle
+
+    def implementation_builder(synthesize: bool):
+        bundle = build_pci_platform(workloads, config, synthesize=synthesize)
+        return bundle.handle, bundle.synthesis
+
+    return functional_builder, implementation_builder

@@ -1,0 +1,30 @@
+"""Hardware modeling layer: logic values, signals, ports, modules, clocks."""
+
+from .bitvector import LogicVector, resolve_vectors
+from .clock import Clock, ResetGenerator
+from .logic import L0, L1, LX, LZ, Logic, resolve
+from .module import Module
+from .port import IN, INOUT, OUT, Port
+from .resolved import BusDriver, ResolvedSignal
+from .signal import Signal
+
+__all__ = [
+    "BusDriver",
+    "Clock",
+    "IN",
+    "INOUT",
+    "L0",
+    "L1",
+    "LX",
+    "LZ",
+    "Logic",
+    "LogicVector",
+    "Module",
+    "OUT",
+    "Port",
+    "ResetGenerator",
+    "ResolvedSignal",
+    "Signal",
+    "resolve",
+    "resolve_vectors",
+]

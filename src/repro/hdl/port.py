@@ -1,0 +1,137 @@
+"""Module ports.
+
+A :class:`Port` is a typed connection point declared by a module and
+bound to a :class:`~repro.hdl.signal.Signal` (or, for ``INOUT`` ports,
+a :class:`~repro.hdl.resolved.ResolvedSignal`) during hierarchy
+construction. Reads and writes are delegated to the bound channel, so
+module code is written against its ports and stays independent of the
+wiring above it.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ElaborationError
+from ..kernel.event import Event
+from .resolved import BusDriver, ResolvedSignal
+from .signal import Signal
+
+#: Port directions.
+IN = "in"
+OUT = "out"
+INOUT = "inout"
+
+
+class Port:
+    """A directional connection point owned by a module.
+
+    :param owner_path: hierarchical path of the owning module.
+    :param name: port name.
+    :param direction: :data:`IN`, :data:`OUT` or :data:`INOUT`.
+    :param width: expected signal width (``None`` = unchecked).
+    """
+
+    def __init__(
+        self,
+        owner_path: str,
+        name: str,
+        direction: str,
+        width: int | None = None,
+    ) -> None:
+        if direction not in (IN, OUT, INOUT):
+            raise ElaborationError(f"invalid port direction {direction!r}")
+        self.owner_path = owner_path
+        self.name = name
+        self.direction = direction
+        self.width = width
+        self._signal: Signal | ResolvedSignal | None = None
+        self._driver: BusDriver | None = None
+
+    def __repr__(self) -> str:
+        bound = self._signal.name if self._signal is not None else "<unbound>"
+        return f"Port({self.owner_path}.{self.name} {self.direction} -> {bound})"
+
+    @property
+    def path(self) -> str:
+        return f"{self.owner_path}.{self.name}"
+
+    # -- binding ------------------------------------------------------------
+
+    def bind(self, signal: "Signal | ResolvedSignal | Port") -> None:
+        """Connect this port to *signal* (or to another bound port)."""
+        if isinstance(signal, Port):
+            if signal._signal is None:
+                raise ElaborationError(
+                    f"cannot bind {self.path} to unbound port {signal.path}"
+                )
+            signal = signal._signal
+        if self.width is not None and signal.width is not None:
+            if signal.width != self.width:
+                raise ElaborationError(
+                    f"port {self.path} is {self.width} bits wide but signal "
+                    f"{signal.name} is {signal.width}"
+                )
+        if isinstance(signal, ResolvedSignal):
+            if self.direction != INOUT:
+                raise ElaborationError(
+                    f"resolved signal {signal.name} needs an INOUT port, "
+                    f"but {self.path} is {self.direction}"
+                )
+            self._driver = signal.get_driver(self.path)
+        self._signal = signal
+
+    @property
+    def bound(self) -> bool:
+        return self._signal is not None
+
+    @property
+    def signal(self) -> "Signal | ResolvedSignal":
+        if self._signal is None:
+            raise ElaborationError(f"port {self.path} is not bound")
+        return self._signal
+
+    # -- access ---------------------------------------------------------------
+
+    def read(self) -> typing.Any:
+        return self.signal.read()
+
+    @property
+    def value(self) -> typing.Any:
+        return self.signal.read()
+
+    def write(self, value: object) -> None:
+        if self.direction == IN:
+            raise ElaborationError(f"cannot write input port {self.path}")
+        if self._driver is not None:
+            self._driver.write(value)  # type: ignore[arg-type]
+        else:
+            typing.cast(Signal, self.signal).write(value)
+
+    def release(self) -> None:
+        """Tri-state an INOUT port (drive all-Z)."""
+        if self._driver is None:
+            raise ElaborationError(
+                f"port {self.path} is not bound to a resolved signal"
+            )
+        self._driver.release()
+
+    # -- events ------------------------------------------------------------------
+
+    @property
+    def changed(self) -> Event:
+        return self.signal.changed
+
+    @property
+    def posedge(self) -> Event:
+        return typing.cast(Signal, self.signal).posedge
+
+    @property
+    def negedge(self) -> Event:
+        return typing.cast(Signal, self.signal).negedge
+
+    def to_int(self) -> int:
+        value = self.read()
+        if hasattr(value, "to_int"):
+            return value.to_int()
+        return int(value)

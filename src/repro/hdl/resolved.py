@@ -1,0 +1,111 @@
+"""Resolved (multi-driver, tri-state) signals.
+
+PCI multiplexes address and data on the AD lines, which several agents
+drive at different times, releasing them to ``Z`` in turnaround cycles.
+:class:`ResolvedSignal` models such a wire: every agent obtains its own
+:class:`BusDriver`, and the committed value is the per-bit resolution of
+all driver contributions.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import WidthError
+from ..kernel.event import Event
+from ..kernel.signal_base import UpdateTarget
+from .bitvector import LogicVector, resolve_vectors
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..kernel.simulator import Simulator
+
+
+class BusDriver:
+    """One agent's contribution to a resolved bus."""
+
+    def __init__(self, bus: "ResolvedSignal", name: str) -> None:
+        self._bus = bus
+        self.name = name
+        self._contribution = LogicVector.high_z(bus.width)
+
+    def __repr__(self) -> str:
+        return f"BusDriver({self._bus.name}:{self.name}={self._contribution})"
+
+    @property
+    def contribution(self) -> LogicVector:
+        return self._contribution
+
+    def write(self, value: "LogicVector | int | str") -> None:
+        """Drive *value* onto the bus (committed at the update phase)."""
+        if not isinstance(value, LogicVector):
+            value = LogicVector(self._bus.width, value)
+        if value.width != self._bus.width:
+            raise WidthError(
+                f"driver {self.name!r}: value width {value.width} != bus "
+                f"width {self._bus.width}"
+            )
+        self._contribution = value
+        self._bus._request_update()
+
+    def release(self) -> None:
+        """Stop driving: contribute all-Z."""
+        self.write(LogicVector.high_z(self._bus.width))
+
+
+class ResolvedSignal(UpdateTarget):
+    """A multi-driver bus wire with per-bit 0/1/X/Z resolution."""
+
+    def __init__(self, sim: "Simulator", name: str, width: int) -> None:
+        super().__init__(sim.scheduler)
+        self._sim = sim
+        self.name = name
+        self.width = width
+        self._drivers: dict[str, BusDriver] = {}
+        self._value = LogicVector.high_z(width)
+        self._changed: Event | None = None
+
+    def __repr__(self) -> str:
+        return f"ResolvedSignal({self.name}={self._value})"
+
+    # -- drivers ------------------------------------------------------------
+
+    def get_driver(self, name: str) -> BusDriver:
+        """The (per-agent) driver handle called *name*, created on demand."""
+        try:
+            return self._drivers[name]
+        except KeyError:
+            driver = BusDriver(self, name)
+            self._drivers[name] = driver
+            return driver
+
+    @property
+    def driver_names(self) -> tuple[str, ...]:
+        return tuple(self._drivers)
+
+    # -- access ---------------------------------------------------------------
+
+    def read(self) -> LogicVector:
+        return self._value
+
+    @property
+    def value(self) -> LogicVector:
+        return self._value
+
+    @property
+    def changed(self) -> Event:
+        if self._changed is None:
+            self._changed = Event(self._scheduler, f"{self.name}.changed")
+        return self._changed
+
+    # -- update phase ------------------------------------------------------------
+
+    def _perform_update(self) -> None:
+        resolved = resolve_vectors(
+            self.width, [driver.contribution for driver in self._drivers.values()]
+        )
+        if resolved == self._value:
+            return
+        self._value = resolved
+        if self._changed is not None:
+            self._changed.notify_delta()
+        self._sim._notify_trace(self, resolved)

@@ -1,0 +1,192 @@
+"""Simulation processes.
+
+Two SystemC-like process kinds are supported:
+
+* **thread** — a Python generator that ``yield``\\ s wait specifications
+  (:class:`Timeout`, an :class:`~repro.kernel.event.Event`, ``AnyOf``,
+  ``AllOf``). The kernel resumes it when the wait completes. Threads
+  compose naturally: helper coroutines are invoked with ``yield from``,
+  which is how blocking guarded-method calls are built.
+* **method** — a plain callable re-invoked from the top whenever an event
+  in its static sensitivity triggers. Methods cannot wait.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections.abc import Generator
+
+from ..errors import SimulationError
+from .event import AllOf, AnyOf, Event
+from .simtime import check_delay
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import Scheduler
+
+
+class Timeout:
+    """Wait specification: suspend for a fixed number of femtoseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int) -> None:
+        self.delay = check_delay(delay)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+#: What a thread may yield to the kernel.
+WaitSpec = typing.Union[Timeout, Event, AnyOf, AllOf]
+
+#: Type alias for the generator a thread function must return.
+ThreadGenerator = Generator[WaitSpec, object, object]
+
+
+class Process:
+    """Kernel bookkeeping for one thread or method process."""
+
+    THREAD = "thread"
+    METHOD = "method"
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        name: str,
+        func: typing.Callable[[], object],
+        kind: str = THREAD,
+    ) -> None:
+        if kind not in (self.THREAD, self.METHOD):
+            raise SimulationError(f"unknown process kind {kind!r}")
+        self._scheduler = scheduler
+        self.name = name
+        self.kind = kind
+        self._func = func
+        self._generator: ThreadGenerator | None = None
+        self._waiting_on: list[Event] = []
+        self._all_of_pending: set[Event] = set()
+        self._timeout_event: Event | None = None
+        self.done = False
+        self.started = False
+        #: Notified when the process terminates (thread return / StopIteration).
+        self.terminated_event = Event(scheduler, f"{name}.terminated")
+        self._static_sensitivity: list[Event] = []
+        self._runnable = False
+        self.exception: BaseException | None = None
+
+    def __repr__(self) -> str:
+        return f"Process({self.name}, {self.kind})"
+
+    # -- static sensitivity -------------------------------------------------
+
+    def add_sensitivity(self, event: Event) -> None:
+        """Statically sensitise this process to *event*."""
+        self._static_sensitivity.append(event)
+        event.add_static(self)
+
+    # -- waking ---------------------------------------------------------------
+
+    def _wake(self, trigger: Event) -> None:
+        """Called by an event this process dynamically waits on."""
+        if self.done:
+            return
+        if self._all_of_pending:
+            self._all_of_pending.discard(trigger)
+            if self._all_of_pending:
+                return
+        self._clear_waits(keep=trigger)
+        self._make_runnable()
+
+    def _wake_static(self, trigger: Event) -> None:
+        """Called by an event in the static sensitivity list."""
+        if self.done:
+            return
+        if self.kind == self.THREAD and self._waiting_on:
+            # A thread with an explicit dynamic wait ignores static triggers.
+            return
+        self._make_runnable()
+
+    def _make_runnable(self) -> None:
+        if not self._runnable:
+            self._runnable = True
+            self._scheduler._make_runnable(self)
+
+    def _clear_waits(self, keep: Event | None = None) -> None:
+        for event in self._waiting_on:
+            if event is not keep:
+                event._remove_dynamic(self)
+        self._waiting_on = []
+        self._all_of_pending = set()
+        self._timeout_event = None
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self) -> None:
+        """Run one activation; called only by the scheduler."""
+        self._runnable = False
+        if self.done:
+            return
+        if self.kind == self.METHOD:
+            self.started = True
+            self._func()
+            return
+        if self._generator is None:
+            self.started = True
+            result = self._func()
+            if result is None:
+                # A thread function with no yields runs to completion at start.
+                self._finish()
+                return
+            if not isinstance(result, Generator):
+                raise SimulationError(
+                    f"thread {self.name!r} must be a generator function, "
+                    f"got {result!r}"
+                )
+            self._generator = result
+        try:
+            wait_spec = self._generator.send(None)
+        except StopIteration:
+            self._finish()
+            return
+        self._register_wait(wait_spec)
+
+    def _register_wait(self, wait_spec: object) -> None:
+        if isinstance(wait_spec, Timeout):
+            event = Event(self._scheduler, f"{self.name}.timeout")
+            event.notify_after(wait_spec.delay)
+            self._timeout_event = event
+            self._waiting_on = [event]
+            event._add_dynamic(self)
+            return
+        if isinstance(wait_spec, Event):
+            self._waiting_on = [wait_spec]
+            wait_spec._add_dynamic(self)
+            return
+        if isinstance(wait_spec, AnyOf):
+            self._waiting_on = list(wait_spec.events)
+            for event in wait_spec.events:
+                event._add_dynamic(self)
+            return
+        if isinstance(wait_spec, AllOf):
+            self._waiting_on = list(wait_spec.events)
+            self._all_of_pending = set(wait_spec.events)
+            for event in wait_spec.events:
+                event._add_dynamic(self)
+            return
+        raise SimulationError(
+            f"thread {self.name!r} yielded {wait_spec!r}, which is not a "
+            "wait specification (Timeout, Event, AnyOf or AllOf)"
+        )
+
+    def _finish(self) -> None:
+        self.done = True
+        self._clear_waits()
+        self.terminated_event.notify_delta()
+
+    def kill(self) -> None:
+        """Forcefully terminate the process (it never runs again)."""
+        if self.done:
+            return
+        if self._generator is not None:
+            self._generator.close()
+        self._finish()

@@ -1,0 +1,29 @@
+"""Update-target protocol shared by primitive channels.
+
+A primitive channel (signal, FIFO, resolved bus) stages writes during the
+evaluation phase and commits them in the update phase. The scheduler only
+needs the small protocol defined here; the concrete channels live in
+:mod:`repro.hdl`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import Scheduler
+
+
+class UpdateTarget:
+    """Base class for anything committed during the update phase."""
+
+    def __init__(self, scheduler: "Scheduler") -> None:
+        self._scheduler = scheduler
+        self._update_requested = False
+
+    def _request_update(self) -> None:
+        self._scheduler.request_update(self)
+
+    def _perform_update(self) -> None:
+        """Commit the staged value; implemented by concrete channels."""
+        raise NotImplementedError

@@ -1,0 +1,55 @@
+"""Simulation time representation.
+
+Time is kept as a plain non-negative integer number of *femtoseconds*,
+mirroring SystemC's 64-bit integral time with a default resolution fine
+enough that nanosecond- and picosecond-scale models never need fractions.
+The :data:`FS` .. :data:`SEC` constants are multipliers, so ``10 * NS``
+reads like the SystemC literal ``sc_time(10, SC_NS)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+#: One femtosecond — the base resolution.
+FS = 1
+#: One picosecond.
+PS = 1_000 * FS
+#: One nanosecond.
+NS = 1_000 * PS
+#: One microsecond.
+US = 1_000 * NS
+#: One millisecond.
+MS = 1_000 * US
+#: One second.
+SEC = 1_000 * MS
+
+_UNIT_NAMES = [(SEC, "s"), (MS, "ms"), (US, "us"), (NS, "ns"), (PS, "ps"), (FS, "fs")]
+
+
+def check_delay(delay: int) -> int:
+    """Validate a relative delay, returning it unchanged.
+
+    :raises SimulationError: if *delay* is negative or not an integer.
+    """
+    if not isinstance(delay, int) or isinstance(delay, bool):
+        raise SimulationError(f"delay must be an int number of fs, got {delay!r}")
+    if delay < 0:
+        raise SimulationError(f"delay must be non-negative, got {delay}")
+    return delay
+
+
+def format_time(time_fs: int) -> str:
+    """Render *time_fs* with the largest unit that divides it exactly.
+
+    >>> format_time(25_000_000)
+    '25 ns'
+    >>> format_time(0)
+    '0 fs'
+    """
+    if time_fs == 0:
+        return "0 fs"
+    for factor, suffix in _UNIT_NAMES:
+        if time_fs % factor == 0:
+            return f"{time_fs // factor} {suffix}"
+    return f"{time_fs} fs"

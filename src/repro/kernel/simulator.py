@@ -1,0 +1,132 @@
+"""Simulator facade.
+
+:class:`Simulator` bundles the scheduler with the design registry,
+elaboration and tracing hooks, and is the single object a model builder
+passes around. The typical session::
+
+    sim = Simulator()
+    top = MySystem(sim, "top")
+    sim.run(1 * US)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ElaborationError, SimulationError
+from .event import Event
+from .process import Process
+from .scheduler import Scheduler
+from .simtime import format_time
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..hdl.module import Module
+
+
+class Simulator:
+    """One simulation context: scheduler + design hierarchy + tracing."""
+
+    def __init__(self, max_deltas_per_timestep: int = 10_000) -> None:
+        self.scheduler = Scheduler(max_deltas_per_timestep)
+        self._named: dict[str, object] = {}
+        self._top_modules: list["Module"] = []
+        self._tracers: list[typing.Any] = []
+        self.elaborated = False
+
+    # -- time / control -------------------------------------------------------
+
+    @property
+    def time(self) -> int:
+        """Current simulation time in femtoseconds."""
+        return self.scheduler.time
+
+    @property
+    def delta_count(self) -> int:
+        return self.scheduler.delta_count
+
+    def time_str(self) -> str:
+        return format_time(self.scheduler.time)
+
+    def run(self, duration: int | None = None) -> int:
+        """Elaborate on first use, then run the scheduler."""
+        if not self.elaborated:
+            self.elaborate()
+        return self.scheduler.run(duration)
+
+    def stop(self) -> None:
+        self.scheduler.stop()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self.scheduler, name)
+
+    def spawn(
+        self,
+        func: typing.Callable[[], object],
+        name: str = "spawned",
+        initialize: bool = True,
+    ) -> Process:
+        """Register a free-standing thread process (outside any module)."""
+        return self.scheduler.spawn(func, name, initialize=initialize)
+
+    # -- hierarchy --------------------------------------------------------------
+
+    def _add_top_module(self, module: "Module") -> None:
+        if self.elaborated:
+            raise ElaborationError(
+                f"cannot add module {module.name!r} after elaboration"
+            )
+        self._top_modules.append(module)
+
+    @property
+    def top_modules(self) -> tuple["Module", ...]:
+        return tuple(self._top_modules)
+
+    def register_named(self, path: str, obj: object) -> None:
+        """Record *obj* under its full hierarchical *path*."""
+        if path in self._named:
+            raise ElaborationError(f"duplicate hierarchical name {path!r}")
+        self._named[path] = obj
+
+    def lookup(self, path: str) -> object:
+        """Find a design object by full hierarchical name."""
+        try:
+            return self._named[path]
+        except KeyError:
+            raise ElaborationError(f"no design object named {path!r}") from None
+
+    def iter_named(self) -> typing.Iterator[tuple[str, object]]:
+        return iter(sorted(self._named.items()))
+
+    def elaborate(self) -> None:
+        """Finalise the hierarchy: bind ports, run end-of-elaboration hooks."""
+        if self.elaborated:
+            return
+        for module in self._top_modules:
+            module._elaborate()
+        self.elaborated = True
+        for module in self._top_modules:
+            module._end_of_elaboration()
+
+    # -- tracing ------------------------------------------------------------------
+
+    def add_tracer(self, tracer: typing.Any) -> None:
+        """Attach a tracer (e.g. a VCD writer); it is told of value changes."""
+        self._tracers.append(tracer)
+
+    def remove_tracer(self, tracer: typing.Any) -> None:
+        self._tracers.remove(tracer)
+
+    def _notify_trace(self, signal: typing.Any, value: typing.Any) -> None:
+        for tracer in self._tracers:
+            tracer.record_change(self.scheduler.time, signal, value)
+
+    # -- convenience ---------------------------------------------------------------
+
+    def run_until_idle(self, max_time: int | None = None) -> int:
+        """Run until event starvation; optionally bounded by *max_time*."""
+        if max_time is not None and max_time < self.time:
+            raise SimulationError("max_time is in the past")
+        duration = None if max_time is None else max_time - self.time
+        return self.run(duration)

@@ -1,0 +1,95 @@
+"""Method-call requests queued at a shared object.
+
+When a process invokes a guarded method of a global object, the call is
+reified as a :class:`MethodRequest` and queued at the shared state space.
+The arbiter sees requests (never raw processes), which is also the unit
+the synthesis tool lowers to a request/grant signal pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from ..kernel.event import Event
+
+_sequence = itertools.count()
+
+
+class MethodRequest:
+    """One pending (or completed) guarded-method invocation."""
+
+    def __init__(
+        self,
+        client: str,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        arrival_time: int,
+        done_event: Event,
+        priority: int = 0,
+    ) -> None:
+        self.client = client
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.arrival_time = arrival_time
+        self.priority = priority
+        self.seq = next(_sequence)
+        self.done_event = done_event
+        self.result: object = None
+        self.error: BaseException | None = None
+        self.completed = False
+        self.grant_time: int | None = None
+        self.complete_time: int | None = None
+
+    def __repr__(self) -> str:
+        state = "done" if self.completed else "pending"
+        return f"MethodRequest({self.client}->{self.method}, {state})"
+
+    @property
+    def wait_time(self) -> int:
+        """Femtoseconds between arrival and grant (0 if never granted)."""
+        if self.grant_time is None:
+            return 0
+        return self.grant_time - self.arrival_time
+
+
+class RequestStats:
+    """Aggregated servicing statistics of one shared state space."""
+
+    def __init__(self) -> None:
+        self.total_requests = 0
+        self.total_completed = 0
+        self.wait_times: list[int] = []
+        self.grants_by_client: dict[str, int] = {}
+        self.grant_log: list[tuple[int, str, str]] = []
+
+    def record_grant(self, request: MethodRequest, time: int) -> None:
+        self.grant_log.append((time, request.client, request.method))
+        self.grants_by_client[request.client] = (
+            self.grants_by_client.get(request.client, 0) + 1
+        )
+
+    def record_completion(self, request: MethodRequest) -> None:
+        self.total_completed += 1
+        self.wait_times.append(request.wait_time)
+
+    @property
+    def mean_wait_time(self) -> float:
+        if not self.wait_times:
+            return 0.0
+        return sum(self.wait_times) / len(self.wait_times)
+
+    @property
+    def max_wait_time(self) -> int:
+        return max(self.wait_times) if self.wait_times else 0
+
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-client grant counts (1.0 = fair)."""
+        counts = list(self.grants_by_client.values())
+        if not counts:
+            return 1.0
+        numerator = sum(counts) ** 2
+        denominator = len(counts) * sum(c * c for c in counts)
+        return numerator / denominator if denominator else 1.0

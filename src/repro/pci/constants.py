@@ -1,0 +1,67 @@
+"""Simplified-PCI protocol constants.
+
+The paper implements "a simplified version of the PCI bus"; this module
+pins down exactly which subset: 32-bit multiplexed AD, the memory
+read/write command pair (plus the command encodings of the full spec for
+completeness), medium DEVSEL# decode timing, target retry / disconnect
+via STOP#, and even parity on PAR.
+"""
+
+from __future__ import annotations
+
+#: PCI bus command encodings (C/BE# lines during the address phase).
+CMD_INTERRUPT_ACK = 0x0
+CMD_SPECIAL_CYCLE = 0x1
+CMD_IO_READ = 0x2
+CMD_IO_WRITE = 0x3
+CMD_MEM_READ = 0x6
+CMD_MEM_WRITE = 0x7
+CMD_CONFIG_READ = 0xA
+CMD_CONFIG_WRITE = 0xB
+CMD_MEM_READ_MULTIPLE = 0xC
+CMD_MEM_READ_LINE = 0xE
+CMD_MEM_WRITE_INVALIDATE = 0xF
+
+COMMAND_NAMES = {
+    CMD_INTERRUPT_ACK: "interrupt_ack",
+    CMD_SPECIAL_CYCLE: "special_cycle",
+    CMD_IO_READ: "io_read",
+    CMD_IO_WRITE: "io_write",
+    CMD_MEM_READ: "mem_read",
+    CMD_MEM_WRITE: "mem_write",
+    CMD_CONFIG_READ: "config_read",
+    CMD_CONFIG_WRITE: "config_write",
+    CMD_MEM_READ_MULTIPLE: "mem_read_multiple",
+    CMD_MEM_READ_LINE: "mem_read_line",
+    CMD_MEM_WRITE_INVALIDATE: "mem_write_invalidate",
+}
+
+#: Commands that read data from a target.
+READ_COMMANDS = frozenset(
+    {CMD_MEM_READ, CMD_MEM_READ_MULTIPLE, CMD_MEM_READ_LINE, CMD_IO_READ,
+     CMD_CONFIG_READ}
+)
+#: Commands that write data to a target.
+WRITE_COMMANDS = frozenset(
+    {CMD_MEM_WRITE, CMD_MEM_WRITE_INVALIDATE, CMD_IO_WRITE, CMD_CONFIG_WRITE}
+)
+#: Memory-space commands our simplified targets decode.
+MEMORY_COMMANDS = frozenset(
+    {CMD_MEM_READ, CMD_MEM_READ_MULTIPLE, CMD_MEM_READ_LINE, CMD_MEM_WRITE,
+     CMD_MEM_WRITE_INVALIDATE}
+)
+
+#: Bus width of the multiplexed address/data lines.
+AD_WIDTH = 32
+#: Width of the command / byte-enable lines.
+CBE_WIDTH = 4
+
+#: Clocks a master waits for DEVSEL# before signalling master-abort
+#: (fast=1, medium=2, slow=3, subtractive=4 in real PCI; we allow 5).
+DEVSEL_TIMEOUT = 5
+
+#: Completion status codes reported on an operation.
+STATUS_OK = "ok"
+STATUS_MASTER_ABORT = "master_abort"
+STATUS_TARGET_ABORT = "target_abort"
+STATUS_PENDING = "pending"

@@ -1,0 +1,116 @@
+"""PCI bus enumeration — the software side of configuration space.
+
+Implements what platform firmware does at boot: probe each slot's
+IDSEL, read the identity, size each BAR by the all-ones handshake,
+assign base addresses from an allocator, and enable memory decoding.
+Runs as a generator on a :class:`~repro.pci.master.PciMaster`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ProtocolError
+from .config_space import CMD_MEMORY_ENABLE, REG_BAR0, REG_COMMAND_STATUS, REG_ID
+from .constants import CMD_CONFIG_READ, CMD_CONFIG_WRITE, STATUS_OK
+from .master import PciMaster
+from .transaction import PciOperation
+
+
+class FoundDevice:
+    """One enumerated function."""
+
+    def __init__(
+        self,
+        slot: int,
+        vendor_id: int,
+        device_id: int,
+        bar0_size: int,
+        bar0_base: int,
+    ) -> None:
+        self.slot = slot
+        self.vendor_id = vendor_id
+        self.device_id = device_id
+        self.bar0_size = bar0_size
+        self.bar0_base = bar0_base
+
+    def __repr__(self) -> str:
+        return (
+            f"FoundDevice(slot {self.slot}: {self.vendor_id:04x}:"
+            f"{self.device_id:04x}, BAR0 {self.bar0_size:#x} bytes "
+            f"@ {self.bar0_base:#010x})"
+        )
+
+
+def _config_address(slot: int, register: int) -> int:
+    """Type-0 configuration address: IDSEL on AD[16+slot], register in
+    AD[7:2]."""
+    if not 0 <= slot <= 15:
+        raise ProtocolError(f"slot must be 0..15, got {slot}")
+    return (1 << (16 + slot)) | (register & 0xFC)
+
+
+def config_read(master: PciMaster, slot: int, register: int):
+    """Generator: one configuration read; returns (ok, value)."""
+    operation = PciOperation(
+        CMD_CONFIG_READ, _config_address(slot, register), count=1
+    )
+    yield from master.transact(operation)
+    if operation.status != STATUS_OK:
+        return False, 0
+    return True, operation.data[0]
+
+
+def config_write(master: PciMaster, slot: int, register: int, value: int):
+    """Generator: one configuration write; returns ok."""
+    operation = PciOperation(
+        CMD_CONFIG_WRITE, _config_address(slot, register), data=[value]
+    )
+    yield from master.transact(operation)
+    return operation.status == STATUS_OK
+
+
+def enumerate_bus(
+    master: PciMaster,
+    n_slots: int = 4,
+    allocation_base: int = 0x4000_0000,
+):
+    """Generator: probe *n_slots*, program BARs, enable memory decode.
+
+    :returns: list of :class:`FoundDevice` (empty slots master-abort and
+        are skipped, exactly as on real hardware).
+    """
+    found: list[FoundDevice] = []
+    next_base = allocation_base
+    for slot in range(n_slots):
+        ok, identity = yield from config_read(master, slot, REG_ID)
+        if not ok or identity == 0xFFFFFFFF:
+            continue  # empty slot: master abort / pull-ups
+        vendor_id = identity & 0xFFFF
+        device_id = (identity >> 16) & 0xFFFF
+
+        # BAR sizing: write all-ones, read back the size mask.
+        yield from config_write(master, slot, REG_BAR0, 0xFFFFFFFF)
+        ok, mask = yield from config_read(master, slot, REG_BAR0)
+        if not ok:
+            continue
+        size = (~mask + 1) & 0xFFFFFFFF
+        if size == 0:
+            raise ProtocolError(
+                f"slot {slot}: BAR0 size probe returned mask {mask:#x}"
+            )
+
+        # Allocate an aligned window and program the BAR.
+        base = (next_base + size - 1) & ~(size - 1)
+        next_base = base + size
+        yield from config_write(master, slot, REG_BAR0, base)
+
+        # Enable memory decoding.
+        ok, command_status = yield from config_read(
+            master, slot, REG_COMMAND_STATUS
+        )
+        command = (command_status & 0xFFFF) | CMD_MEMORY_ENABLE
+        yield from config_write(master, slot, REG_COMMAND_STATUS, command)
+
+        found.append(FoundDevice(slot, vendor_id, device_id, size, base))
+    return found

@@ -1,0 +1,27 @@
+"""PCI parity generation and checking.
+
+PAR carries even parity over the 32 AD lines and the 4 C/BE# lines: the
+number of '1's across AD, C/BE# and PAR together is even. PAR lags the
+lines it protects by one clock, which is handled by the agents, not here.
+"""
+
+from __future__ import annotations
+
+from ..hdl.bitvector import LogicVector
+
+
+def parity_of(ad_value: int, cbe_value: int) -> int:
+    """Even-parity bit over AD[31:0] and C/BE#[3:0]."""
+    combined = (ad_value & 0xFFFFFFFF) | ((cbe_value & 0xF) << 32)
+    parity = 0
+    while combined:
+        parity ^= combined & 1
+        combined >>= 1
+    return parity
+
+
+def parity_of_vectors(ad: LogicVector, cbe: LogicVector) -> int | None:
+    """Parity over sampled vectors; ``None`` when either has X/Z bits."""
+    if not ad.is_fully_defined or not cbe.is_fully_defined:
+        return None
+    return parity_of(ad.to_int(), cbe.to_int())

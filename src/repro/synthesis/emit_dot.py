@@ -1,0 +1,44 @@
+"""Graphviz (DOT) export of synthesized FSMs.
+
+A documentation artifact: render the server FSM (or any IR FSM) as a
+state diagram for design reviews, matching the netlist the HDL backends
+print.
+"""
+
+from __future__ import annotations
+
+from .ir import Fsm, RtlModule
+
+
+def _label(condition) -> str:
+    if condition is None:
+        return ""
+    text = repr(condition)
+    # Keep the edge labels readable: Ref(foo) -> foo etc.
+    for noise in ("Ref(", "UnOp(", "BinOp(", ")"):
+        text = text.replace(noise, "")
+    return text.replace("'", "")
+
+
+def emit_fsm_dot(fsm: Fsm, graph_name: str | None = None) -> str:
+    """Render one FSM as a DOT digraph."""
+    name = graph_name or fsm.name
+    lines = [f"digraph {name} {{"]
+    lines.append("    rankdir=LR;")
+    lines.append("    node [shape=circle, fontname=monospace];")
+    lines.append(
+        f'    {fsm.reset_state} [shape=doublecircle];  // reset state'
+    )
+    for transition in fsm.transitions:
+        label = _label(transition.condition)
+        attr = f' [label="{label}"]' if label else ""
+        lines.append(f"    {transition.source} -> {transition.target}{attr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def emit_module_dot(module: RtlModule) -> str:
+    """Render every FSM of *module*, concatenated."""
+    return "\n\n".join(
+        emit_fsm_dot(fsm, f"{module.name}_{fsm.name}") for fsm in module.fsms
+    )

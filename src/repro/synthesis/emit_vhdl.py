@@ -1,0 +1,195 @@
+"""VHDL netlist emission.
+
+The VHDL backend mirrors :mod:`~repro.synthesis.emit_verilog`: it prints
+an :class:`~repro.synthesis.ir.RtlModule` as a VHDL-93 entity +
+architecture pair (numeric_std arithmetic, one clocked process with an
+asynchronous active-low reset, FSM as a case statement).
+"""
+
+from __future__ import annotations
+
+from ..errors import SynthesisError
+from .ir import (
+    BinOp,
+    BitSelect,
+    Concat,
+    Const,
+    Expr,
+    Mux,
+    Ref,
+    RtlModule,
+    UnOp,
+)
+
+
+def _type(width: int) -> str:
+    return "std_logic" if width == 1 else f"std_logic_vector({width - 1} downto 0)"
+
+
+def _const(value: int, width: int) -> str:
+    if width == 1:
+        return f"'{value}'"
+    bits = format(value, f"0{width}b")
+    return f'"{bits}"'
+
+
+def _bool_to_sl(condition: str) -> str:
+    return f"'1' when {condition} else '0'"
+
+
+def _expr(expr: Expr) -> str:
+    """Render as a std_logic / std_logic_vector VHDL expression."""
+    if isinstance(expr, Const):
+        return _const(expr.value, expr.width)
+    if isinstance(expr, Ref):
+        return expr.net.name
+    if isinstance(expr, UnOp):
+        if expr.op == "~":
+            return f"(not {_expr(expr.operand)})"
+        if expr.op == "|":
+            if expr.operand.width == 1:
+                return _expr(expr.operand)
+            return f"(or_reduce({_expr(expr.operand)}))"
+        if expr.op == "&":
+            if expr.operand.width == 1:
+                return _expr(expr.operand)
+            return f"(and_reduce({_expr(expr.operand)}))"
+    if isinstance(expr, BinOp):
+        left, right = _expr(expr.left), _expr(expr.right)
+        if expr.op in ("&", "|", "^"):
+            word = {"&": "and", "|": "or", "^": "xor"}[expr.op]
+            return f"({left} {word} {right})"
+        if expr.op in ("+", "-"):
+            return (
+                f"std_logic_vector(unsigned({left}) {expr.op} unsigned({right}))"
+                if expr.width > 1
+                else f"({left} xor {right})"
+            )
+        if expr.op in ("==", "!=", "<"):
+            vhdl_op = {"==": "=", "!=": "/=", "<": "<"}[expr.op]
+            if expr.left.width > 1 and expr.op == "<":
+                condition = f"unsigned({left}) {vhdl_op} unsigned({right})"
+            else:
+                condition = f"{left} {vhdl_op} {right}"
+            return f"({_bool_to_sl(condition)})"
+    if isinstance(expr, Mux):
+        return (
+            f"({_expr(expr.if_true)} when {_expr(expr.select)} = '1' "
+            f"else {_expr(expr.if_false)})"
+        )
+    if isinstance(expr, BitSelect):
+        operand = expr.operand
+        if isinstance(operand, Ref) and operand.width > 1:
+            return f"{operand.net.name}({expr.index})"
+        if isinstance(operand, Ref):
+            return operand.net.name
+        raise SynthesisError(
+            f"VHDL backend: bit-select of a computed expression ({expr!r}); "
+            "materialise it on a net first"
+        )
+    if isinstance(expr, Concat):
+        return "(" + " & ".join(_expr(part) for part in expr.parts) + ")"
+    raise SynthesisError(f"cannot emit expression {expr!r}")
+
+
+def emit_vhdl(module: RtlModule) -> str:
+    """Render *module* as a VHDL source string."""
+    lines: list[str] = []
+    if module.comment:
+        lines.append(f"-- {module.comment}")
+    lines.append("library ieee;")
+    lines.append("use ieee.std_logic_1164.all;")
+    lines.append("use ieee.numeric_std.all;")
+    lines.append("use ieee.std_logic_misc.all;")
+    lines.append("")
+    lines.append(f"entity {module.name} is")
+    lines.append("    port (")
+    for index, port in enumerate(module.ports):
+        direction = "in " if port.direction == "in" else "out"
+        separator = ";" if index < len(module.ports) - 1 else ""
+        comment = f"  -- {port.comment}" if port.comment else ""
+        lines.append(
+            f"        {port.name} : {direction} {_type(port.width)}{separator}{comment}"
+        )
+    lines.append("    );")
+    lines.append(f"end entity {module.name};")
+    lines.append("")
+    lines.append(f"architecture rtl of {module.name} is")
+    for net in module.nets:
+        comment = f"  -- {net.comment}" if net.comment else ""
+        lines.append(f"    signal {net.name} : {_type(net.width)};{comment}")
+    for register in module.registers:
+        comment = f"  -- {register.comment}" if register.comment else ""
+        lines.append(
+            f"    signal {register.name} : {_type(register.width)} := "
+            f"{_const(register.reset_value, register.width)};{comment}"
+        )
+    for fsm in module.fsms:
+        for index, state in enumerate(fsm.states):
+            lines.append(
+                f"    constant {fsm.name.upper()}_{state} : "
+                f"{_type(fsm.state_register.width)} := "
+                f"{_const(index, fsm.state_register.width)};"
+            )
+    # Output ports that are assigned combinationally need internal copies in
+    # strict VHDL; we keep the direct form for readability (VHDL-2008 allows
+    # reading outputs).
+    lines.append("begin")
+    for assign in module.assigns:
+        comment = f"  -- {assign.comment}" if assign.comment else ""
+        lines.append(f"    {assign.target.name} <= {_expr(assign.expr)};{comment}")
+    lines.append("")
+    if module.clocked_assigns or module.fsms:
+        lines.append("    seq : process (clk, rst_n)")
+        lines.append("    begin")
+        lines.append("        if rst_n = '0' then")
+        for register in module.registers:
+            lines.append(
+                f"            {register.name} <= "
+                f"{_const(register.reset_value, register.width)};"
+            )
+        lines.append("        elsif rising_edge(clk) then")
+        for item in module.clocked_assigns:
+            comment = f"  -- {item.comment}" if item.comment else ""
+            if item.enable is not None:
+                lines.append(f"            if {_expr(item.enable)} = '1' then")
+                lines.append(
+                    f"                {item.target.name} <= {_expr(item.expr)};{comment}"
+                )
+                lines.append("            end if;")
+            else:
+                lines.append(
+                    f"            {item.target.name} <= {_expr(item.expr)};{comment}"
+                )
+        for fsm in module.fsms:
+            lines.append(f"            case {fsm.state_register.name} is")
+            for state in fsm.states:
+                arcs = [t for t in fsm.transitions if t.source == state]
+                lines.append(f"                when {fsm.name.upper()}_{state} =>")
+                first = True
+                for arc in arcs:
+                    target = f"{fsm.name.upper()}_{arc.target}"
+                    if arc.condition is None:
+                        lines.append(
+                            f"                    {fsm.state_register.name} <= {target};"
+                        )
+                    else:
+                        keyword = "if" if first else "elsif"
+                        lines.append(
+                            f"                    {keyword} {_expr(arc.condition)} = '1' then"
+                        )
+                        lines.append(
+                            f"                        {fsm.state_register.name} <= {target};"
+                        )
+                        first = False
+                if not first:
+                    lines.append("                    end if;")
+            lines.append(
+                f"                when others => {fsm.state_register.name} <= "
+                f"{fsm.name.upper()}_{fsm.reset_state};"
+            )
+            lines.append("            end case;")
+        lines.append("        end if;")
+        lines.append("    end process seq;")
+    lines.append(f"end architecture rtl;")
+    return "\n".join(lines)

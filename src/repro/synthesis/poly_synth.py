@@ -1,0 +1,118 @@
+"""Polymorphic-dispatch synthesis.
+
+SystemC+'s hardware polymorphism lowers a late-bound call over a bounded
+class set to a tag register plus a multiplexer across the variants'
+implementations. :func:`synthesize_dispatch` emits that structure and
+returns the dispatch metadata the report counts.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import SynthesisError
+from ..osss.polymorphism import PolymorphicVar
+from .ir import BinOp, Const, RtlModule, clog2
+from .object_synth import estimate_state_bits
+
+
+class DispatchInfo:
+    """Synthesis facts about one polymorphic variable."""
+
+    def __init__(
+        self,
+        name: str,
+        variants: typing.Sequence[str],
+        tag_bits: int,
+        union_state_bits: int,
+        methods: typing.Sequence[str],
+    ) -> None:
+        self.name = name
+        self.variants = list(variants)
+        self.tag_bits = tag_bits
+        self.union_state_bits = union_state_bits
+        self.methods = list(methods)
+
+    @property
+    def mux_inputs(self) -> int:
+        """Total mux arms across all dispatched methods."""
+        return len(self.variants) * len(self.methods)
+
+    def __repr__(self) -> str:
+        return (
+            f"DispatchInfo({self.name}: {len(self.variants)} variants, "
+            f"tag {self.tag_bits}b, union {self.union_state_bits}b)"
+        )
+
+
+def synthesize_dispatch(var: PolymorphicVar, module_name: str | None = None
+                        ) -> tuple[RtlModule, DispatchInfo]:
+    """Lower *var* to a tagged-union + dispatch-mux netlist.
+
+    The union storage is sized as the maximum over the variants' state
+    estimates (a tagged union shares storage); each interface method gets
+    a per-variant strobe selected by the tag register.
+    """
+    methods = var.interface_methods()
+    if not methods:
+        raise SynthesisError(
+            f"{var.name}: the base class {var.base.__name__} declares no "
+            "public methods to dispatch"
+        )
+    module = RtlModule(
+        module_name or f"poly_{var.name}",
+        comment=(
+            f"polymorphic dispatch for {var.base.__name__} over "
+            f"{[v.__name__ for v in var.variants]}"
+        ),
+    )
+    module.add_port("clk", "in", 1)
+    module.add_port("rst_n", "in", 1)
+    tag_bits = var.tag_bits
+    call_go = module.add_port("call_go", "in", 1, "invoke the selected body")
+    method_bits = clog2(max(2, len(methods)))
+    module.add_port("method_sel", "in", method_bits, "which interface method")
+    tag = module.add_register("tag", tag_bits, 0, "which variant is held")
+    assign_strobe = module.add_port("assign_go", "in", 1, "store a new variant")
+    new_tag = module.add_port("new_tag", "in", tag_bits)
+    module.add_clocked_assign(tag, new_tag.ref(), enable=assign_strobe.ref(),
+                              comment="assignment updates the tag")
+
+    # Union storage: max of the variants' state estimates.
+    union_bits = 0
+    for variant in var.variants:
+        try:
+            instance = variant()
+        except TypeError:
+            # Variants with required constructor args: charge a default.
+            union_bits = max(union_bits, 32)
+            continue
+        union_bits = max(union_bits, sum(estimate_state_bits(instance).values()) or 1)
+    module.add_register("union_state", max(1, union_bits), 0,
+                        "shared storage of the tagged union")
+
+    # One strobe per (variant, method): the dispatch multiplexer.
+    for v_index, variant in enumerate(var.variants):
+        for m_index, method in enumerate(methods):
+            strobe = module.add_port(
+                f"run_{variant.__name__.lower()}_{method}", "out", 1,
+                f"body of {variant.__name__}.{method}",
+            )
+            tag_match = BinOp("==", tag.ref(), Const(v_index, tag_bits))
+            method_match = BinOp(
+                "==", module.port("method_sel").ref(), Const(m_index, method_bits)
+            )
+            module.add_assign(
+                strobe,
+                BinOp("&", call_go.ref(), BinOp("&", tag_match, method_match)),
+                "late binding resolved by the tag register",
+            )
+
+    info = DispatchInfo(
+        var.name,
+        [variant.__name__ for variant in var.variants],
+        tag_bits,
+        max(1, union_bits),
+        methods,
+    )
+    return module, info

@@ -1,0 +1,29 @@
+"""Transaction-level modeling substrate: channels, functional IP models."""
+
+from .channels import ReqRspChannel, TlmFifo
+from .interfaces import (
+    ALL_BYTES,
+    TlmTarget,
+    apply_byte_enables,
+    check_word_address,
+    check_word_data,
+)
+from .memory import Memory, RomMemory
+from .peripheral import DmaPeripheral, StatusRegisterBlock
+from .router import AddressRange, AddressRouter
+
+__all__ = [
+    "ALL_BYTES",
+    "AddressRange",
+    "AddressRouter",
+    "DmaPeripheral",
+    "Memory",
+    "ReqRspChannel",
+    "RomMemory",
+    "StatusRegisterBlock",
+    "TlmFifo",
+    "TlmTarget",
+    "apply_byte_enables",
+    "check_word_address",
+    "check_word_data",
+]

@@ -1,0 +1,16 @@
+"""Tracing: VCD dumping, in-memory capture, ASCII waveform rendering."""
+
+from .ascii_art import render
+from .capture import WaveformCapture
+from .vcd import VcdTracer
+from .vcd_reader import VcdDump, VcdSignal, diff_dumps, parse_vcd
+
+__all__ = [
+    "VcdDump",
+    "VcdSignal",
+    "VcdTracer",
+    "WaveformCapture",
+    "diff_dumps",
+    "parse_vcd",
+    "render",
+]

@@ -1,0 +1,105 @@
+"""ASCII waveform rendering.
+
+Turns a :class:`~repro.trace.capture.WaveformCapture` into the textual
+equivalent of a waveform-viewer screenshot (the paper's Figure 4). One
+character column per sample; scalar signals are drawn with level art,
+vectors with their hex value at each change.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..hdl.bitvector import LogicVector
+from ..hdl.logic import Logic
+from .capture import WaveformCapture
+
+_HIGH = "#"
+_LOW = "_"
+_UNKNOWN = "?"
+_TRISTATE = "~"
+
+
+def _level_char(value: object) -> str:
+    if isinstance(value, LogicVector) and value.width == 1:
+        value = value.bit(0)
+    if isinstance(value, Logic):
+        if value.char == "1":
+            return _HIGH
+        if value.char == "0":
+            return _LOW
+        if value.char == "Z":
+            return _TRISTATE
+        return _UNKNOWN
+    if isinstance(value, bool):
+        return _HIGH if value else _LOW
+    if isinstance(value, int):
+        return _HIGH if value else _LOW
+    return _UNKNOWN
+
+
+def _vector_text(value: object) -> str:
+    if isinstance(value, LogicVector):
+        return value.to_hex()
+    return str(value)
+
+
+def render(
+    capture: WaveformCapture,
+    signals: typing.Sequence[str],
+    start: int,
+    stop: int,
+    step: int,
+    labels: typing.Mapping[str, str] | None = None,
+    time_unit: int | None = None,
+) -> str:
+    """Render *signals* from *capture* over [start, stop) at *step* fs/column.
+
+    :param labels: optional display name per signal path.
+    :param time_unit: divisor for the time ruler (defaults to *step*).
+    :returns: a multi-line string; scalar signals as ``_##_`` level art,
+        vector signals as right-padded hex values at change columns.
+    """
+    labels = labels or {}
+    unit = time_unit or step
+    names = list(signals)
+    display = [labels.get(name, name.rsplit(".", 1)[-1]) for name in names]
+    label_width = max(len(text) for text in display) if display else 0
+    columns = range(start, stop, step)
+
+    lines = []
+    ruler_cells = []
+    for index, time in enumerate(columns):
+        ruler_cells.append(str(time // unit) if index % 5 == 0 else "")
+    ruler = " " * (label_width + 2)
+    for index, cell in enumerate(ruler_cells):
+        # Write the tick label left-aligned at its column.
+        if cell:
+            position = label_width + 2 + index
+            if len(ruler) < position:
+                ruler += " " * (position - len(ruler))
+            ruler = ruler[:position] + cell + ruler[position + len(cell):]
+    lines.append(ruler.rstrip())
+
+    for name, text in zip(names, display):
+        samples = [capture.value_at(name, time) for time in columns]
+        is_scalar = all(
+            isinstance(v, (bool, Logic)) or (isinstance(v, LogicVector) and v.width == 1)
+            for v in samples
+        )
+        if is_scalar:
+            art = "".join(_level_char(value) for value in samples)
+            lines.append(f"{text.ljust(label_width)}  {art}")
+        else:
+            cells = []
+            previous: object = object()
+            run = ""
+            for value in samples:
+                if value != previous:
+                    token = _vector_text(value)
+                    run = token + "|"
+                    previous = value
+                cells.append(run[0] if run else ".")
+                run = run[1:]
+            lines.append(f"{text.ljust(label_width)}  {''.join(cells)}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Verification substrate: consistency checking, scoreboards, coverage,
+runtime invariant checkers."""
+
+from .checkers import InvariantChecker, OneHotChecker
+from .consistency import (
+    ConsistencyReport,
+    check_bus_transactions,
+    check_traces,
+    compare_streams,
+)
+from .coverage import CoverageCollector, CoverPoint
+from .scoreboard import Scoreboard, check_memory_image
+from .stats import LatencySummary, PlatformStats, percentile
+
+__all__ = [
+    "LatencySummary",
+    "PlatformStats",
+    "percentile",
+    "ConsistencyReport",
+    "CoverPoint",
+    "CoverageCollector",
+    "InvariantChecker",
+    "OneHotChecker",
+    "Scoreboard",
+    "check_bus_transactions",
+    "check_memory_image",
+    "check_traces",
+    "compare_streams",
+]

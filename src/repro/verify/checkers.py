@@ -1,0 +1,94 @@
+"""Runtime invariant checkers attached to signals."""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ProtocolError
+from ..hdl.bitvector import LogicVector
+from ..hdl.module import Module
+from ..hdl.signal import Signal
+
+
+class InvariantChecker(Module):
+    """Applies a predicate to a signal's value on every change.
+
+    :param predicate: called with the new value; falsy means violation.
+    :param strict: raise immediately (otherwise collect in
+        :attr:`violations`).
+    """
+
+    def __init__(
+        self,
+        parent: Module,
+        name: str,
+        signal: Signal,
+        predicate: typing.Callable[[object], bool],
+        message: str = "invariant violated",
+        strict: bool = True,
+    ) -> None:
+        super().__init__(parent, name)
+        self.watched = signal
+        self.predicate = predicate
+        self.message = message
+        self.strict = strict
+        self.violations: list[str] = []
+        self.checks = 0
+        self.method(self._check, sensitivity=[signal], initialize=False)
+
+    def _check(self) -> None:
+        self.checks += 1
+        value = self.watched.read()
+        if self.predicate(value):
+            return
+        text = f"{self.sim.time_str()}: {self.message} (value={value!r})"
+        self.violations.append(text)
+        if self.strict:
+            raise ProtocolError(f"{self.path}: {text}")
+
+
+class OneHotChecker(Module):
+    """Checks that at most one of a set of 1-bit signals is asserted.
+
+    Used on the synthesized channel's grant lines and the PCI GNT# pins
+    (active level configurable).
+    """
+
+    def __init__(
+        self,
+        parent: Module,
+        name: str,
+        signals: typing.Sequence[Signal],
+        active_low: bool = False,
+        strict: bool = True,
+    ) -> None:
+        super().__init__(parent, name)
+        self.watched = list(signals)
+        self.active_low = active_low
+        self.strict = strict
+        self.violations: list[str] = []
+        self.checks = 0
+        self.method(
+            self._check, sensitivity=list(self.watched), initialize=False
+        )
+
+    def _asserted(self, value: object) -> bool:
+        if isinstance(value, LogicVector):
+            level = value.to_int_default(1 if self.active_low else 0)
+        else:
+            level = int(bool(value))
+        return level == 0 if self.active_low else level == 1
+
+    def _check(self) -> None:
+        self.checks += 1
+        asserted = [
+            signal.name
+            for signal in self.watched
+            if self._asserted(signal.read())
+        ]
+        if len(asserted) <= 1:
+            return
+        text = f"{self.sim.time_str()}: multiple asserted: {asserted}"
+        self.violations.append(text)
+        if self.strict:
+            raise ProtocolError(f"{self.path}: {text}")

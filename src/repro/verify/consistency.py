@@ -1,0 +1,116 @@
+"""Pre/post-synthesis consistency checking (the paper's step 3).
+
+The paper validates its flow by simulating the executable specification,
+synthesizing, re-simulating, and checking *"behavior consistency with
+the original model, at least with respect to the test set adopted"*.
+Consistency here means equality of observable traces: the applications'
+transaction records and (optionally) the bus monitor's reconstructed
+transaction stream.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ConsistencyError
+
+
+class ConsistencyReport:
+    """Outcome of comparing two observable traces."""
+
+    def __init__(self, label_a: str, label_b: str) -> None:
+        self.label_a = label_a
+        self.label_b = label_b
+        self.mismatches: list[str] = []
+        self.compared_streams = 0
+        self.compared_items = 0
+
+    @property
+    def consistent(self) -> bool:
+        return not self.mismatches
+
+    def add_mismatch(self, message: str) -> None:
+        self.mismatches.append(message)
+
+    def require_consistent(self) -> None:
+        """Raise :class:`ConsistencyError` if any mismatch was found."""
+        if self.mismatches:
+            raise ConsistencyError(
+                f"{self.label_a} vs {self.label_b}: "
+                + "; ".join(self.mismatches[:5])
+                + (f" (+{len(self.mismatches) - 5} more)"
+                   if len(self.mismatches) > 5 else "")
+            )
+
+    def summary(self) -> str:
+        status = "CONSISTENT" if self.consistent else "INCONSISTENT"
+        lines = [
+            f"{self.label_a} vs {self.label_b}: {status} "
+            f"({self.compared_streams} streams, {self.compared_items} items)"
+        ]
+        lines.extend(f"  mismatch: {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def compare_streams(
+    report: ConsistencyReport,
+    name: str,
+    stream_a: typing.Sequence,
+    stream_b: typing.Sequence,
+) -> None:
+    """Compare two equally-ordered observable streams item by item."""
+    report.compared_streams += 1
+    report.compared_items += max(len(stream_a), len(stream_b))
+    if len(stream_a) != len(stream_b):
+        report.add_mismatch(
+            f"{name}: {len(stream_a)} items vs {len(stream_b)}"
+        )
+        return
+    for index, (item_a, item_b) in enumerate(zip(stream_a, stream_b)):
+        if item_a != item_b:
+            report.add_mismatch(
+                f"{name}[{index}]: {item_a!r} != {item_b!r}"
+            )
+            return
+
+
+def check_traces(
+    traces_a: typing.Mapping[str, typing.Sequence],
+    traces_b: typing.Mapping[str, typing.Sequence],
+    label_a: str = "pre-synthesis",
+    label_b: str = "post-synthesis",
+) -> ConsistencyReport:
+    """Compare keyed trace dictionaries (e.g. per-application records)."""
+    report = ConsistencyReport(label_a, label_b)
+    for key in sorted(set(traces_a) | set(traces_b)):
+        if key not in traces_a or key not in traces_b:
+            report.add_mismatch(f"stream {key!r} missing from one side")
+            continue
+        compare_streams(report, key, traces_a[key], traces_b[key])
+    return report
+
+
+def check_bus_transactions(
+    signatures_a: typing.Sequence[tuple],
+    signatures_b: typing.Sequence[tuple],
+    label_a: str = "pre-synthesis",
+    label_b: str = "post-synthesis",
+    order_insensitive: bool = False,
+) -> ConsistencyReport:
+    """Compare two monitor transaction-signature streams.
+
+    :param order_insensitive: with several concurrent initiators the
+        global interleaving may legally differ; compare as multisets.
+    """
+    report = ConsistencyReport(label_a, label_b)
+    if order_insensitive:
+        report.compared_streams += 1
+        report.compared_items += max(len(signatures_a), len(signatures_b))
+        if sorted(signatures_a) != sorted(signatures_b):
+            report.add_mismatch(
+                "bus transaction multisets differ "
+                f"({len(signatures_a)} vs {len(signatures_b)})"
+            )
+    else:
+        compare_streams(report, "bus", signatures_a, signatures_b)
+    return report

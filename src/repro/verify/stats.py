@@ -1,0 +1,94 @@
+"""Platform utilization and latency reporting.
+
+Aggregates what the monitors and channels already count into one
+printable report: bus utilization, interface throughput, per-application
+latency percentiles. Used by the benches and handy when tuning the
+platform parameters (wait states, arbitration, burst sizes).
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def percentile(values: typing.Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (0.0..1.0) of *values*."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return float(ordered[rank])
+
+
+class LatencySummary:
+    """Distribution summary of a latency sample set (femtoseconds)."""
+
+    def __init__(self, samples: typing.Sequence[int]) -> None:
+        self.count = len(samples)
+        self.mean = sum(samples) / len(samples) if samples else 0.0
+        self.minimum = min(samples) if samples else 0
+        self.maximum = max(samples) if samples else 0
+        self.p50 = percentile(samples, 0.50)
+        self.p95 = percentile(samples, 0.95)
+
+    def row(self, unit: int = 1) -> list:
+        return [
+            self.count,
+            f"{self.mean / unit:.1f}",
+            self.minimum // unit,
+            int(self.p50) // unit,
+            int(self.p95) // unit,
+            self.maximum // unit,
+        ]
+
+
+class PlatformStats:
+    """Collected statistics of one platform run."""
+
+    def __init__(self, bundle: typing.Any, time_unit: int = 1_000_000) -> None:
+        """:param bundle: a :class:`~repro.flow.platforms.PlatformBundle`
+        after its run completed.
+        :param time_unit: fs per reported unit (default: ns)."""
+        self.time_unit = time_unit
+        self.app_latencies = {
+            app.name: LatencySummary([r.latency for r in app.records])
+            for app in bundle.handle.applications
+        }
+        monitor = getattr(bundle, "monitor", None)
+        if monitor is not None and getattr(monitor, "cycles_observed", 0):
+            self.bus_utilization = monitor.busy_cycles / monitor.cycles_observed
+            self.bus_cycles = monitor.cycles_observed
+        else:
+            self.bus_utilization = 0.0
+            self.bus_cycles = 0
+        interface = getattr(bundle, "interface", None)
+        self.commands_serviced = getattr(interface, "commands_serviced", 0)
+        synthesis = getattr(bundle, "synthesis", None)
+        if synthesis is not None and synthesis.groups:
+            channel = synthesis.groups[0].channel
+            total = channel.idle_cycles + channel.busy_cycles
+            self.channel_utilization = (
+                channel.busy_cycles / total if total else 0.0
+            )
+            self.channel_calls = channel.calls_serviced
+        else:
+            self.channel_utilization = None
+            self.channel_calls = None
+
+    def render(self) -> str:
+        lines = ["platform statistics", "-" * 48]
+        lines.append(f"bus utilization:      {self.bus_utilization:.1%} "
+                     f"({self.bus_cycles} cycles observed)")
+        lines.append(f"commands serviced:    {self.commands_serviced}")
+        if self.channel_utilization is not None:
+            lines.append(
+                f"channel utilization:  {self.channel_utilization:.1%} "
+                f"({self.channel_calls} calls)"
+            )
+        lines.append("")
+        lines.append("per-application latency (ns): "
+                     "count / mean / min / p50 / p95 / max")
+        for name, summary in sorted(self.app_latencies.items()):
+            cells = summary.row(self.time_unit)
+            lines.append(f"  {name}: " + " / ".join(str(c) for c in cells))
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""The Wishbone library interface element.
+
+Same pattern as :class:`~repro.core.pci_interface.PciBusInterface`: the
+application talks guarded methods, the dispatcher drives the pin-level
+Wishbone master. Registering this class (plus the functional alias) in
+an :class:`~repro.core.library.InterfaceLibrary` gives the library a
+second bus — the generalisation the paper's methodology promises.
+"""
+
+from __future__ import annotations
+
+from ..core.bus_interface import BusInterface
+from ..core.command import CommandType, DataType
+from ..core.functional_interface import FunctionalBusInterface
+from ..hdl.module import Module
+from ..hdl.signal import Signal
+from ..osss.arbiter import Arbiter
+from .master import WishboneMaster, WishboneOperation
+from .signals import WishboneBus
+
+
+def _to_wishbone_operation(command: CommandType) -> WishboneOperation:
+    if command.is_write:
+        return WishboneOperation.write(
+            command.address, command.data, sel=command.byte_enables
+        )
+    return WishboneOperation.read(
+        command.address, count=command.count, sel=command.byte_enables
+    )
+
+
+class WishboneBusInterface(BusInterface):
+    """Pin-accurate Wishbone interface element."""
+
+    BUS_NAME = "wishbone"
+    ABSTRACTION = "pin_accurate"
+
+    def __init__(
+        self,
+        parent: Module,
+        name: str,
+        bus: WishboneBus,
+        clk: Signal,
+        arbiter: Arbiter | None = None,
+        response_capacity: int = 4,
+    ) -> None:
+        super().__init__(parent, name, arbiter, response_capacity)
+        self.bus = bus
+        self.clk = clk
+        self.master = WishboneMaster(self, "master", bus, clk)
+        self.operations_failed = 0
+        self.thread(self._dispatch, "dispatch")
+
+    def _dispatch(self):
+        while True:
+            epoch, command = yield from self.channel.call("get_command")
+            operation = _to_wishbone_operation(command)
+            yield from self.master.transact(operation)
+            self.commands_serviced += 1
+            if operation.status != "ok":
+                self.operations_failed += 1
+            if command.is_read:
+                response = DataType(operation.data, operation.status)
+                yield from self.channel.call("put_response", epoch, response)
+
+
+class WishboneFunctionalInterface(FunctionalBusInterface):
+    """The functional element re-tagged for the wishbone library slot."""
+
+    BUS_NAME = "wishbone"
+    ABSTRACTION = "functional"

@@ -1,0 +1,167 @@
+"""Wishbone master (initiator) engine."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ProtocolError
+from ..hdl.bitvector import LogicVector
+from ..hdl.module import Module
+from ..hdl.signal import Signal
+from ..kernel.event import Event
+from .signals import WishboneBus
+
+
+class WishboneOperation:
+    """One requested classic-cycle transfer (possibly a burst).
+
+    :param is_write: direction.
+    :param address: word-aligned byte start address.
+    :param data: words to write (writes only).
+    :param count: words to read (reads only).
+    :param sel: active-high byte-select mask applied to each phase.
+    """
+
+    def __init__(
+        self,
+        is_write: bool,
+        address: int,
+        data=None,
+        count: int = 1,
+        sel: int = 0xF,
+    ) -> None:
+        if address % 4 or not 0 <= address < 2**32:
+            raise ProtocolError(f"bad wishbone address {address:#x}")
+        if not 0 <= sel <= 0xF:
+            raise ProtocolError(f"bad sel mask {sel:#x}")
+        self.is_write = is_write
+        self.address = address
+        self.sel = sel
+        if is_write:
+            if not data:
+                raise ProtocolError("write operation needs data")
+            self.data = list(data)
+            self.count = len(self.data)
+        else:
+            if data is not None:
+                raise ProtocolError("read operation must not carry data")
+            if count < 1:
+                raise ProtocolError("read count must be >= 1")
+            self.data = []
+            self.count = count
+        self.status = "pending"
+        self.enqueue_time: int | None = None
+        self.complete_time: int | None = None
+
+    @classmethod
+    def read(cls, address: int, count: int = 1, sel: int = 0xF):
+        return cls(False, address, count=count, sel=sel)
+
+    @classmethod
+    def write(cls, address: int, data, sel: int = 0xF):
+        words = [data] if isinstance(data, int) else list(data)
+        return cls(True, address, data=words, sel=sel)
+
+    def __repr__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return f"WishboneOperation({kind} @{self.address:#010x} x{self.count})"
+
+
+class WishboneMaster(Module):
+    """Single bus master executing queued operations in order.
+
+    :param timeout_cycles: clocks to wait for ACK/ERR before declaring a
+        bus error (no slave decoded the address).
+    """
+
+    def __init__(
+        self,
+        parent: Module,
+        name: str,
+        bus: WishboneBus,
+        clk: Signal,
+        timeout_cycles: int = 16,
+    ) -> None:
+        super().__init__(parent, name)
+        if timeout_cycles < 1:
+            raise ProtocolError("timeout must be >= 1 cycle")
+        self.bus = bus
+        self.clk = clk
+        self.timeout_cycles = timeout_cycles
+        self._queue: deque[tuple[WishboneOperation, Event]] = deque()
+        self._op_available = self.event("op_available")
+        self.ops_completed = 0
+        self.errors_seen = 0
+        self.timeouts_seen = 0
+        self.thread(self._engine, "engine")
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, operation: WishboneOperation) -> Event:
+        done = self.event("op_done")
+        operation.enqueue_time = self.sim.time
+        self._queue.append((operation, done))
+        self._op_available.notify()
+        return done
+
+    def transact(self, operation: WishboneOperation):
+        """Blocking helper for thread processes."""
+        done = self.submit(operation)
+        yield done
+        return operation
+
+    # -- engine ------------------------------------------------------------------
+
+    def _engine(self):
+        bus = self.bus
+        while True:
+            if not self._queue:
+                yield self._op_available
+                continue
+            operation, done = self._queue.popleft()
+            status = "ok"
+            for index in range(operation.count):
+                address = operation.address + 4 * index
+                bus.cyc.write(1)
+                bus.stb.write(1)
+                bus.adr.write(LogicVector(32, address))
+                bus.sel.write(LogicVector(4, operation.sel))
+                if operation.is_write:
+                    bus.we.write(1)
+                    bus.dat_w.write(LogicVector(32, operation.data[index]))
+                else:
+                    bus.we.write(0)
+                waited = 0
+                while True:
+                    yield self.clk.posedge
+                    if bus.err_active():
+                        status = "bus_error"
+                        self.errors_seen += 1
+                        break
+                    if bus.ack_active():
+                        if not operation.is_write:
+                            value = bus.dat_r.read()
+                            if not value.is_fully_defined:
+                                raise ProtocolError(
+                                    f"{self.path}: ACK with undefined DAT_R"
+                                )
+                            operation.data.append(value.to_int())
+                        break
+                    waited += 1
+                    if waited > self.timeout_cycles:
+                        status = "timeout"
+                        self.timeouts_seen += 1
+                        break
+                if status != "ok":
+                    break
+                # Phase done: deassert STB for one cycle (classic cycle with
+                # a gap keeps the simple slave's bookkeeping unambiguous).
+                bus.stb.write(0)
+                yield self.clk.posedge
+            bus.cyc.write(0)
+            bus.stb.write(0)
+            operation.status = status
+            operation.complete_time = self.sim.time
+            if status == "ok":
+                self.ops_completed += 1
+            done.notify_delta()

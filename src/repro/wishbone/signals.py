@@ -1,0 +1,62 @@
+"""Wishbone B3 wire bundle (the library's second bus).
+
+The paper's payoff is a *library* of interface elements, one per bus.
+Besides PCI we ship a classic-cycle Wishbone bus: single-master,
+point-to-multipoint, synchronous, with ACK/ERR termination. Unlike PCI
+the wires are simple single-driver signals — no tri-state — which also
+exercises the pattern on a very different protocol style.
+
+Classic cycle: the master asserts CYC+STB with ADR/WE/SEL (and DAT_W for
+writes); the addressed slave answers with ACK (DAT_R valid for reads) or
+ERR. Keeping CYC asserted across consecutive STBs forms a burst.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module
+from ..hdl.signal import Signal
+from ..kernel.simulator import Simulator
+
+#: Width of the address and data paths.
+ADDR_WIDTH = 32
+DATA_WIDTH = 32
+SEL_WIDTH = 4
+
+
+class WishboneBus(Module):
+    """All wires of one single-master Wishbone segment.
+
+    The master drives the ``_o`` group; slaves share the ``_i`` group
+    (each slave only drives when addressed — enforced by the slaves'
+    decode, checked by the monitor).
+    """
+
+    def __init__(self, parent: "Module | Simulator", name: str) -> None:
+        super().__init__(parent, name)
+        # Master outputs.
+        self.cyc = self.signal("cyc", width=1, init=0)
+        self.stb = self.signal("stb", width=1, init=0)
+        self.we = self.signal("we", width=1, init=0)
+        self.adr = self.signal("adr", width=ADDR_WIDTH, init=0)
+        self.dat_w = self.signal("dat_w", width=DATA_WIDTH, init=0)
+        self.sel = self.signal("sel", width=SEL_WIDTH, init=0xF)
+        # Slave outputs (resolved so several slaves can share the rail;
+        # exactly one may drive at a time).
+        self.ack = self.resolved_signal("ack", 1)
+        self.err = self.resolved_signal("err", 1)
+        self.dat_r = self.resolved_signal("dat_r", DATA_WIDTH)
+
+    def request_active(self) -> bool:
+        """CYC and STB both sampled high."""
+        return (
+            self.cyc.read().to_int_default(0) == 1
+            and self.stb.read().to_int_default(0) == 1
+        )
+
+    def ack_active(self) -> bool:
+        value = self.ack.read()
+        return value.is_fully_defined and value.to_int() == 1
+
+    def err_active(self) -> bool:
+        value = self.err.read()
+        return value.is_fully_defined and value.to_int() == 1

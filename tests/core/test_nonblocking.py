@@ -1,0 +1,150 @@
+"""Tests for the non-blocking interface variant and polling application."""
+
+import pytest
+
+from repro.core import (
+    Application,
+    CommandType,
+    FunctionalBusInterface,
+    NonBlockingBusInterfaceChannel,
+    PciBusInterface,
+    PollingApplication,
+    generate_workload,
+)
+from repro.errors import SimulationError
+from repro.hdl import Clock, Module
+from repro.kernel import MS, NS, Simulator
+from repro.pci import PciBus, PciCentralArbiter, PciTarget
+from repro.tlm import AddressRouter, Memory
+
+
+class TestChannelSemantics:
+    def test_try_put_refuses_when_pending(self):
+        channel = NonBlockingBusInterfaceChannel()
+        assert channel.try_put_command(CommandType.read(0x0))
+        assert not channel.try_put_command(CommandType.read(0x4))
+        channel.get_command()
+        assert channel.try_put_command(CommandType.read(0x4))
+
+    def test_try_get_returns_flag(self):
+        channel = NonBlockingBusInterfaceChannel()
+        ready, response = channel.try_app_data_get()
+        assert not ready and response is None
+
+    def test_blocking_methods_still_present(self):
+        channel = NonBlockingBusInterfaceChannel()
+        channel.put_command(CommandType.read(0x0))
+        assert channel.is_pending_command
+
+
+def _functional_platform(app_cls, commands, **app_kwargs):
+    sim = Simulator()
+    top = Module(sim, "top")
+    memory = Memory(1 << 16)
+    router = AddressRouter()
+    router.add_target(0, 1 << 16, memory, "mem")
+    iface = FunctionalBusInterface(
+        top, "iface", router, channel_cls=NonBlockingBusInterfaceChannel
+    )
+    app = app_cls(top, "app", commands, iface, **app_kwargs)
+    return sim, memory, iface, app
+
+
+class TestPollingApplication:
+    def test_polls_until_served(self):
+        commands = [
+            CommandType.write(0x100, [1, 2]),
+            CommandType.read(0x100, count=2),
+        ]
+        sim, memory, __, app = _functional_platform(
+            PollingApplication, commands, poll_interval=5 * NS
+        )
+        sim.run(10 * MS)
+        assert app.done
+        assert app.records[1].response.data == [1, 2]
+        # A read response can never be ready instantly: polling happened.
+        assert app.retries >= 1
+
+    def test_same_observable_trace_as_blocking(self):
+        workload = generate_workload(seed=61, n_commands=12,
+                                     address_span=0x200, max_burst=3)
+        sim_b, __, ___, blocking_app = _functional_platform(
+            Application, workload
+        )
+        sim_b.run(10 * MS)
+        sim_p, __, ___, polling_app = _functional_platform(
+            PollingApplication, workload, poll_interval=3 * NS
+        )
+        sim_p.run(50 * MS)
+        assert blocking_app.trace_signatures() == polling_app.trace_signatures()
+
+    def test_bad_poll_interval(self):
+        with pytest.raises(SimulationError):
+            _functional_platform(PollingApplication, [], poll_interval=0)
+
+    def test_polling_on_pin_accurate_pci(self):
+        sim = Simulator()
+
+        class Top(Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.clock = Clock(self, "clock", period=30 * NS)
+                self.bus = PciBus(self, "bus")
+                self.arb = PciCentralArbiter(self, "arb", self.bus,
+                                             self.clock.clk)
+                self.memory = Memory(1 << 12)
+                self.target = PciTarget(self, "tgt", self.bus, self.clock.clk,
+                                        self.memory, base=0, size=1 << 12)
+                self.iface = PciBusInterface(
+                    self, "iface", self.bus, self.clock.clk,
+                    channel_cls=NonBlockingBusInterfaceChannel,
+                )
+                self.app = PollingApplication(
+                    self, "app",
+                    [CommandType.write(0x40, [0xAB]),
+                     CommandType.read(0x40, count=1)],
+                    self.iface, poll_interval=30 * NS,
+                )
+
+        top = Top(sim, "top")
+        sim.run(10 * MS)
+        assert top.app.done
+        assert top.app.records[1].response.data == [0xAB]
+
+
+class TestChannelClassValidation:
+    def test_interface_rejects_bad_channel_cls(self):
+        sim = Simulator()
+        top = Module(sim, "top")
+        router = AddressRouter()
+        router.add_target(0, 0x100, Memory(0x100))
+        with pytest.raises(TypeError):
+            FunctionalBusInterface(top, "iface", router, channel_cls=dict)
+
+    def test_blocking_iface_accepts_nonblocking_port(self):
+        """Subclass channels connect; the derived class's space survives."""
+        sim = Simulator()
+        top = Module(sim, "top")
+        router = AddressRouter()
+        router.add_target(0, 0x100, Memory(0x100))
+        iface = FunctionalBusInterface(top, "iface", router)  # blocking
+        app = PollingApplication(top, "app", [], iface)  # non-blocking port
+        assert isinstance(iface.channel.state, NonBlockingBusInterfaceChannel)
+        assert app.bus_port.space is iface.channel.space
+
+    def test_unrelated_channel_classes_rejected(self):
+        from repro.osss import GlobalObject
+
+        sim = Simulator()
+        top = Module(sim, "top")
+
+        class Unrelated:
+            def noop(self):
+                pass
+
+        handle = GlobalObject(top, "other", Unrelated)
+        router = AddressRouter()
+        router.add_target(0, 0x100, Memory(0x100))
+        iface = FunctionalBusInterface(top, "iface", router)
+        with pytest.raises(SimulationError):
+            iface.connect_application(handle)

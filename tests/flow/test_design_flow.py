@@ -1,0 +1,85 @@
+"""Tests of the Figure 2 design-flow driver."""
+
+import pytest
+
+from repro.core import CommandType, generate_workload
+from repro.errors import ConsistencyError, RefinementError
+from repro.flow import (
+    DesignFlow,
+    PciPlatformConfig,
+    build_functional_platform,
+    build_pci_platform,
+    standard_flow_builders,
+)
+from repro.kernel import MS
+
+
+WORKLOADS = [generate_workload(seed=31, n_commands=8, address_span=0x100,
+                               max_burst=2)]
+
+
+class TestFullFlow:
+    def test_all_stages_pass(self):
+        flow = DesignFlow({"name": "demo"}, *standard_flow_builders(WORKLOADS))
+        report = flow.run(20 * MS)
+        assert report.succeeded
+        assert len(report.stages) == 6
+        assert report.refinement_check.consistent
+        assert report.synthesis_check.consistent
+        assert report.synthesis_result is not None
+        assert report.post_synthesis_result.transactions == 8
+
+    def test_summary_lists_stages(self):
+        flow = DesignFlow({"name": "demo"}, *standard_flow_builders(WORKLOADS))
+        report = flow.run(20 * MS)
+        text = report.summary()
+        assert "communication synthesis" in text
+        assert "[  ok]" in text
+
+    def test_missing_name_fails_first_stage(self):
+        flow = DesignFlow({}, *standard_flow_builders(WORKLOADS))
+        with pytest.raises(RefinementError):
+            flow.run(20 * MS)
+
+    def test_divergent_functional_model_caught(self):
+        """Inject a functional model that disagrees -> stage 4 fails."""
+        different = [generate_workload(seed=99, n_commands=8,
+                                       address_span=0x100)]
+
+        def bad_functional():
+            return build_functional_platform(different).handle
+
+        __, implementation = standard_flow_builders(WORKLOADS)
+        flow = DesignFlow({"name": "broken"}, bad_functional, implementation)
+        with pytest.raises(ConsistencyError):
+            flow.run(20 * MS)
+
+
+class TestBuilders:
+    def test_multiple_workloads_multiple_apps(self):
+        workloads = [
+            [CommandType.write(0x00, [1])],
+            [CommandType.write(0x40, [2])],
+        ]
+        bundle = build_pci_platform(workloads)
+        assert len(bundle.handle.applications) == 2
+        bundle.run(5 * MS)
+        assert bundle.memory.read_word(0x00) == 1
+        assert bundle.memory.read_word(0x40) == 2
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(RefinementError):
+            standard_flow_builders([])
+
+    def test_config_reaches_target(self):
+        config = PciPlatformConfig(wait_states=3, decode_latency=2)
+        bundle = build_pci_platform(WORKLOADS, config)
+        assert bundle.top.mem_target.wait_states == 3
+        assert bundle.top.mem_target.decode_latency == 2
+
+    def test_synthesized_platform_reports(self):
+        bundle = build_pci_platform(WORKLOADS, synthesize=True)
+        assert bundle.synthesis is not None
+        bundle.run(20 * MS)
+        channel = bundle.synthesis.groups[0].channel
+        assert channel.calls_serviced > 0

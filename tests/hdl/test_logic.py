@@ -1,0 +1,101 @@
+"""Unit tests for four-valued scalar logic."""
+
+import pytest
+
+from repro.errors import LogicValueError
+from repro.hdl import L0, L1, LX, LZ, Logic, resolve
+
+
+class TestConstruction:
+    def test_interning(self):
+        assert Logic("1") is L1
+        assert Logic(0) is L0
+        assert Logic("x") is LX
+        assert Logic("z") is LZ
+        assert Logic(True) is L1
+        assert Logic(L0) is L0
+
+    def test_invalid_literals(self):
+        with pytest.raises(LogicValueError):
+            Logic("q")
+        with pytest.raises(LogicValueError):
+            Logic(2)
+        with pytest.raises(LogicValueError):
+            Logic(3.5)
+
+    def test_char_property(self):
+        assert L1.char == "1"
+        assert LZ.char == "Z"
+
+
+class TestConversion:
+    def test_bool_defined(self):
+        assert bool(L1) is True
+        assert bool(L0) is False
+
+    def test_bool_undefined_raises(self):
+        with pytest.raises(LogicValueError):
+            bool(LX)
+        with pytest.raises(LogicValueError):
+            bool(LZ)
+
+    def test_to_int(self):
+        assert L1.to_int() == 1
+        assert L0.to_int() == 0
+
+    def test_equality_with_primitives(self):
+        assert L1 == 1
+        assert L0 == False  # noqa: E712 - deliberate primitive comparison
+        assert L1 == "1"
+        assert LX != 1
+
+
+class TestOperators:
+    def test_invert(self):
+        assert ~L0 is L1
+        assert ~L1 is L0
+        assert ~LX is LX
+        assert ~LZ is LX
+
+    def test_and_dominant_zero(self):
+        assert (L0 & LX) is L0
+        assert (LX & L0) is L0
+        assert (L1 & L1) is L1
+        assert (L1 & LX) is LX
+        assert (LZ & L1) is LX
+
+    def test_or_dominant_one(self):
+        assert (L1 | LX) is L1
+        assert (LX | L1) is L1
+        assert (L0 | L0) is L0
+        assert (L0 | LX) is LX
+
+    def test_xor(self):
+        assert (L1 ^ L0) is L1
+        assert (L1 ^ L1) is L0
+        assert (L1 ^ LX) is LX
+
+    def test_is_defined(self):
+        assert L0.is_defined and L1.is_defined
+        assert not LX.is_defined and not LZ.is_defined
+
+
+class TestResolution:
+    def test_all_z_is_z(self):
+        assert resolve(LZ, LZ, LZ) is LZ
+
+    def test_single_driver_wins(self):
+        assert resolve(LZ, L1, LZ) is L1
+        assert resolve(L0, LZ) is L0
+
+    def test_agreeing_drivers(self):
+        assert resolve(L1, L1) is L1
+
+    def test_conflict_is_x(self):
+        assert resolve(L1, L0) is LX
+
+    def test_x_driver_poisons(self):
+        assert resolve(LX, L1) is LX
+
+    def test_empty_resolution_is_z(self):
+        assert resolve() is LZ

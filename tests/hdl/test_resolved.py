@@ -1,0 +1,129 @@
+"""Unit tests for resolved (tri-state, multi-driver) signals."""
+
+import pytest
+
+from repro.errors import WidthError
+from repro.hdl import LogicVector, ResolvedSignal
+from repro.kernel import NS, Simulator, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestDrivers:
+    def test_driver_handles_are_per_name(self, sim):
+        bus = ResolvedSignal(sim, "bus", 8)
+        a1 = bus.get_driver("a")
+        a2 = bus.get_driver("a")
+        b = bus.get_driver("b")
+        assert a1 is a2
+        assert a1 is not b
+        assert set(bus.driver_names) == {"a", "b"}
+
+    def test_initial_value_floats(self, sim):
+        bus = ResolvedSignal(sim, "bus", 8)
+        assert bus.read().is_all_z
+
+    def test_driver_width_checked(self, sim):
+        bus = ResolvedSignal(sim, "bus", 8)
+        driver = bus.get_driver("a")
+        with pytest.raises(WidthError):
+            driver.write(LogicVector(4, 0))
+
+
+class TestResolutionOverTime:
+    def test_single_driver(self, sim):
+        bus = ResolvedSignal(sim, "bus", 4)
+        driver = bus.get_driver("a")
+
+        def proc():
+            driver.write(0b1010)
+            yield Timeout(0)
+
+        sim.spawn(proc, "p")
+        sim.run(10)
+        assert bus.read().to_int() == 0b1010
+
+    def test_release_returns_to_z(self, sim):
+        bus = ResolvedSignal(sim, "bus", 4)
+        driver = bus.get_driver("a")
+
+        def proc():
+            driver.write(0xF)
+            yield Timeout(10 * NS)
+            driver.release()
+            yield Timeout(0)
+
+        sim.spawn(proc, "p")
+        sim.run(20 * NS)
+        assert bus.read().is_all_z
+
+    def test_bus_handover(self, sim):
+        """Classic turnaround: driver A releases, driver B takes over."""
+        bus = ResolvedSignal(sim, "bus", 8)
+        a = bus.get_driver("a")
+        b = bus.get_driver("b")
+        trace = []
+
+        def proc_a():
+            a.write(0x11)
+            yield Timeout(10 * NS)
+            a.release()
+
+        def proc_b():
+            yield Timeout(20 * NS)
+            b.write(0x22)
+            yield Timeout(0)
+
+        def probe():
+            yield Timeout(5 * NS)
+            trace.append(str(bus.read()))
+            yield Timeout(10 * NS)
+            trace.append(str(bus.read()))
+            yield Timeout(10 * NS)
+            trace.append(str(bus.read()))
+
+        sim.spawn(proc_a, "a")
+        sim.spawn(proc_b, "b")
+        sim.spawn(probe, "probe")
+        sim.run(50 * NS)
+        assert trace == ["00010001", "ZZZZZZZZ", "00100010"]
+
+    def test_contention_produces_x(self, sim):
+        bus = ResolvedSignal(sim, "bus", 4)
+        a = bus.get_driver("a")
+        b = bus.get_driver("b")
+
+        def proc():
+            a.write(0b1111)
+            b.write(0b0000)
+            yield Timeout(0)
+
+        sim.spawn(proc, "p")
+        sim.run(10)
+        assert str(bus.read()) == "XXXX"
+
+    def test_changed_event(self, sim):
+        bus = ResolvedSignal(sim, "bus", 4)
+        driver = bus.get_driver("a")
+        wakes = []
+
+        def watcher():
+            while True:
+                yield bus.changed
+                wakes.append(str(bus.read()))
+
+        def proc():
+            yield Timeout(10 * NS)
+            driver.write(5)
+            yield Timeout(10 * NS)
+            driver.write(5)  # no change: no event
+            yield Timeout(10 * NS)
+            driver.release()
+
+        sim.spawn(watcher, "w")
+        sim.spawn(proc, "p")
+        sim.run(100 * NS)
+        assert wakes == ["0101", "ZZZZ"]

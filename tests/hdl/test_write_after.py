@@ -1,0 +1,118 @@
+"""Tests for delayed signal writes and event callbacks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hdl import Module
+from repro.kernel import NS, Simulator, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestWriteAfter:
+    def test_value_appears_after_delay(self, sim):
+        top = Module(sim, "top")
+        signal = top.signal("s", width=8, init=0)
+        observed = []
+
+        def driver():
+            signal.write_after(0x55, 30 * NS)
+            yield Timeout(20 * NS)
+            observed.append(signal.read().to_int())
+            yield Timeout(20 * NS)
+            observed.append(signal.read().to_int())
+
+        sim.spawn(driver, "d")
+        sim.run(100 * NS)
+        assert observed == [0, 0x55]
+
+    def test_zero_delay_is_plain_write(self, sim):
+        top = Module(sim, "top")
+        signal = top.signal("s", width=8, init=0)
+
+        def driver():
+            signal.write_after(9, 0)
+            yield Timeout(0)
+
+        sim.spawn(driver, "d")
+        sim.run(10)
+        assert signal.read().to_int() == 9
+
+    def test_negative_delay_rejected(self, sim):
+        top = Module(sim, "top")
+        signal = top.signal("s", width=8)
+        with pytest.raises(SimulationError):
+            signal.write_after(1, -5)
+
+    def test_multiple_scheduled_writes_ordered(self, sim):
+        top = Module(sim, "top")
+        signal = top.signal("s", width=8, init=0)
+        trail = []
+
+        def driver():
+            signal.write_after(1, 10 * NS)
+            signal.write_after(2, 20 * NS)
+            signal.write_after(3, 30 * NS)
+            for __ in range(3):
+                yield signal.changed
+                trail.append(signal.read().to_int())
+
+        sim.spawn(driver, "d")
+        sim.run(100 * NS)
+        assert trail == [1, 2, 3]
+
+    def test_edge_events_fire(self, sim):
+        top = Module(sim, "top")
+        signal = top.signal("s", width=1, init=0)
+        stamps = []
+
+        def watcher():
+            yield signal.posedge
+            stamps.append(sim.time)
+
+        def driver():
+            signal.write_after(1, 25 * NS)
+            yield Timeout(0)
+
+        sim.spawn(watcher, "w")
+        sim.spawn(driver, "d")
+        sim.run(100 * NS)
+        assert stamps == [25 * NS]
+
+
+class TestEventCallbacks:
+    def test_callback_runs_once_on_trigger(self, sim):
+        event = sim.event("e")
+        calls = []
+        event.add_callback(lambda: calls.append(sim.time))
+
+        def driver():
+            yield Timeout(10 * NS)
+            event.notify()
+            yield Timeout(10 * NS)
+            event.notify()  # callback already consumed
+
+        sim.spawn(driver, "d")
+        sim.run(100 * NS)
+        assert calls == [10 * NS]
+
+    def test_callbacks_and_waiters_both_fire(self, sim):
+        event = sim.event("e")
+        log = []
+        event.add_callback(lambda: log.append("callback"))
+
+        def waiter():
+            yield event
+            log.append("waiter")
+
+        def driver():
+            yield Timeout(5 * NS)
+            event.notify()
+
+        sim.spawn(waiter, "w")
+        sim.spawn(driver, "d")
+        sim.run(50 * NS)
+        assert "callback" in log and "waiter" in log

@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line demos."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_library_listing(self, capsys):
+        assert main(["library"]) == 0
+        out = capsys.readouterr().out
+        assert "pci" in out and "wishbone" in out
+        assert "PciBusInterface" in out
+
+    def test_refine(self, capsys):
+        assert main(["--commands", "6", "refine"]) == 0
+        out = capsys.readouterr().out
+        assert "trace-consistent: True" in out
+
+    def test_flow(self, capsys):
+        assert main(["--commands", "6", "flow"]) == 0
+        out = capsys.readouterr().out
+        assert "post-synthesis validation" in out
+        assert "FAIL" not in out
+
+    def test_report(self, capsys):
+        assert main(["--commands", "4", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "communication synthesis report" in out
+        assert "BusInterfaceChannel" in out
+
+    def test_report_with_verilog(self, capsys):
+        assert main(["--commands", "4", "report", "--verilog"]) == 0
+        out = capsys.readouterr().out
+        assert "module chan0" in out
+
+    def test_waveforms(self, capsys, tmp_path):
+        vcd_path = str(tmp_path / "out.vcd")
+        assert main(["waveforms", "--vcd", vcd_path]) == 0
+        out = capsys.readouterr().out
+        assert "frame_n" in out
+        assert os.path.exists(vcd_path)
+        with open(vcd_path) as handle:
+            assert "$enddefinitions" in handle.read()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])

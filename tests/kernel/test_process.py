@@ -1,0 +1,161 @@
+"""Unit tests for thread and method processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel import NS, Process, Simulator, Timeout
+
+
+def _noop():
+    """A generator thread that terminates immediately."""
+    return
+    yield
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestThreads:
+    def test_thread_runs_at_time_zero(self, sim):
+        log = []
+
+        def thread():
+            log.append(sim.time)
+            yield Timeout(1)
+
+        sim.spawn(thread, "t")
+        sim.run(10)
+        assert log == [0]
+
+    def test_dont_initialize_defers_start(self, sim):
+        log = []
+
+        def thread():
+            log.append("ran")
+            yield Timeout(1)
+
+        sim.spawn(thread, "t", initialize=False)
+        sim.run(10 * NS)
+        assert log == []
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        stamps = []
+
+        def thread():
+            for __ in range(3):
+                yield Timeout(10 * NS)
+                stamps.append(sim.time)
+
+        sim.spawn(thread, "t")
+        sim.run(100 * NS)
+        assert stamps == [10 * NS, 20 * NS, 30 * NS]
+
+    def test_generator_return_value_terminates(self, sim):
+        process = sim.spawn(_noop, "empty")
+        sim.run(1)
+        assert process.done
+
+    def test_plain_function_thread_finishes_immediately(self, sim):
+        log = []
+
+        def not_a_generator():
+            log.append("ran")
+
+        process = sim.spawn(not_a_generator, "plain")
+        sim.run(1)
+        assert log == ["ran"]
+        assert process.done
+
+    def test_yielding_garbage_raises(self, sim):
+        def bad():
+            yield "not a wait spec"
+
+        sim.spawn(bad, "bad")
+        with pytest.raises(SimulationError):
+            sim.run(10)
+
+    def test_terminated_event_fires(self, sim):
+        log = []
+
+        def short():
+            yield Timeout(5 * NS)
+
+        process = sim.spawn(short, "short")
+
+        def watcher():
+            yield process.terminated_event
+            log.append(sim.time)
+
+        sim.spawn(watcher, "watcher")
+        sim.run(100 * NS)
+        assert log == [5 * NS]
+
+    def test_kill_stops_process(self, sim):
+        log = []
+
+        def forever():
+            while True:
+                yield Timeout(10 * NS)
+                log.append(sim.time)
+
+        process = sim.spawn(forever, "forever")
+
+        def killer():
+            yield Timeout(25 * NS)
+            process.kill()
+
+        sim.spawn(killer, "killer")
+        sim.run(100 * NS)
+        assert log == [10 * NS, 20 * NS]
+        assert process.done
+
+    def test_yield_from_composition(self, sim):
+        log = []
+
+        def helper(n):
+            yield Timeout(n * NS)
+            return n * 2
+
+        def thread():
+            result = yield from helper(5)
+            log.append((sim.time, result))
+
+        sim.spawn(thread, "t")
+        sim.run(100 * NS)
+        assert log == [(5 * NS, 10)]
+
+
+class TestMethods:
+    def test_method_reruns_on_sensitivity(self, sim):
+        event = sim.event("e")
+        log = []
+
+        def method():
+            log.append(sim.time)
+
+        process = Process(sim.scheduler, "m", method, Process.METHOD)
+        process.add_sensitivity(event)
+        sim.scheduler.register_process(process, initialize=False)
+
+        def driver():
+            for __ in range(3):
+                yield Timeout(10 * NS)
+                event.notify()
+
+        sim.spawn(driver, "d")
+        sim.run(100 * NS)
+        assert log == [10 * NS, 20 * NS, 30 * NS]
+
+    def test_method_initialize_runs_once_at_start(self, sim):
+        log = []
+        process = Process(sim.scheduler, "m", lambda: log.append(sim.time),
+                          Process.METHOD)
+        sim.scheduler.register_process(process, initialize=True)
+        sim.run(10)
+        assert log == [0]
+
+    def test_unknown_kind_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Process(sim.scheduler, "x", lambda: None, "fiber")

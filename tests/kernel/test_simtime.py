@@ -1,0 +1,55 @@
+"""Unit tests for simulation-time helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel import FS, MS, NS, PS, SEC, US, format_time
+from repro.kernel.simtime import check_delay
+
+
+class TestUnits:
+    def test_unit_ladder(self):
+        assert PS == 1000 * FS
+        assert NS == 1000 * PS
+        assert US == 1000 * NS
+        assert MS == 1000 * US
+        assert SEC == 1000 * MS
+
+    def test_literals_compose(self):
+        assert 10 * NS == 10_000_000
+
+
+class TestCheckDelay:
+    def test_accepts_zero(self):
+        assert check_delay(0) == 0
+
+    def test_accepts_positive(self):
+        assert check_delay(5 * NS) == 5 * NS
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            check_delay(-1)
+
+    def test_rejects_float(self):
+        with pytest.raises(SimulationError):
+            check_delay(1.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(SimulationError):
+            check_delay(True)
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "0 fs"
+
+    def test_picks_largest_exact_unit(self):
+        assert format_time(25 * NS) == "25 ns"
+        assert format_time(3 * US) == "3 us"
+        assert format_time(1 * SEC) == "1 s"
+
+    def test_inexact_falls_to_smaller_unit(self):
+        assert format_time(1500 * PS) == "1500 ps"
+
+    def test_femtoseconds(self):
+        assert format_time(7) == "7 fs"

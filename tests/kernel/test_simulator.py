@@ -1,0 +1,98 @@
+"""Unit tests for the Simulator facade: registry, elaboration, tracing."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.hdl import Module
+from repro.kernel import NS, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestRegistry:
+    def test_lookup_by_path(self, sim):
+        module = Module(sim, "top")
+        child = Module(module, "child")
+        assert sim.lookup("top") is module
+        assert sim.lookup("top.child") is child
+
+    def test_duplicate_names_rejected(self, sim):
+        Module(sim, "top")
+        with pytest.raises(ElaborationError):
+            Module(sim, "top")
+
+    def test_unknown_lookup_raises(self, sim):
+        with pytest.raises(ElaborationError):
+            sim.lookup("nope")
+
+    def test_iter_named_sorted(self, sim):
+        Module(sim, "beta")
+        Module(sim, "alpha")
+        names = [name for name, __ in sim.iter_named()]
+        assert names == sorted(names)
+
+
+class TestElaboration:
+    def test_unbound_port_fails_elaboration(self, sim):
+        module = Module(sim, "top")
+        module.in_port("data", width=8)
+        with pytest.raises(ElaborationError, match="never bound"):
+            sim.run(1)
+
+    def test_elaboration_is_idempotent(self, sim):
+        Module(sim, "top")
+        sim.elaborate()
+        sim.elaborate()
+        assert sim.elaborated
+
+    def test_no_modules_after_elaboration(self, sim):
+        sim.elaborate()
+        with pytest.raises(ElaborationError):
+            Module(sim, "late")
+
+    def test_end_of_elaboration_hook_runs(self, sim):
+        calls = []
+
+        class Hooked(Module):
+            def end_of_elaboration(self):
+                calls.append(self.path)
+
+        Hooked(sim, "a")
+        parent = Hooked(sim, "b")
+        Hooked(parent, "c")
+        sim.elaborate()
+        assert sorted(calls) == ["a", "b", "b.c"]
+
+
+class TestTracing:
+    def test_tracer_sees_signal_commits(self, sim):
+        module = Module(sim, "top")
+        signal = module.signal("s", width=8, init=0)
+        seen = []
+
+        class Recorder:
+            def record_change(self, time, sig, value):
+                seen.append((time, sig.name, value.to_int()))
+
+        sim.add_tracer(Recorder())
+
+        def writer():
+            from repro.kernel import Timeout
+            signal.write(5)
+            yield Timeout(10 * NS)
+            signal.write(9)
+            yield Timeout(1)
+
+        sim.spawn(writer, "w")
+        sim.run(20 * NS)
+        assert (0, "top.s", 5) in seen
+        assert (10 * NS, "top.s", 9) in seen
+
+    def test_remove_tracer(self, sim):
+        recorder = type("R", (), {"record_change": lambda *a: None})()
+        sim.add_tracer(recorder)
+        sim.remove_tracer(recorder)
+        assert recorder not in sim._tracers

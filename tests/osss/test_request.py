@@ -1,0 +1,80 @@
+"""Unit tests for method requests and servicing statistics."""
+
+from repro.kernel import Simulator
+from repro.kernel.event import Event
+from repro.osss import MethodRequest, RequestStats
+
+
+def _request(client="c", method="m", arrival=0, priority=0):
+    sim = Simulator()
+    return MethodRequest(
+        client=client,
+        method=method,
+        args=(1, 2),
+        kwargs={"k": 3},
+        arrival_time=arrival,
+        done_event=Event(sim.scheduler, "done"),
+        priority=priority,
+    )
+
+
+class TestMethodRequest:
+    def test_initial_state(self):
+        request = _request()
+        assert not request.completed
+        assert request.error is None
+        assert request.grant_time is None
+        assert request.args == (1, 2)
+        assert request.kwargs == {"k": 3}
+
+    def test_sequence_numbers_monotonic(self):
+        first = _request()
+        second = _request()
+        assert second.seq > first.seq
+
+    def test_wait_time(self):
+        request = _request(arrival=100)
+        assert request.wait_time == 0  # never granted
+        request.grant_time = 250
+        assert request.wait_time == 150
+
+    def test_repr_reflects_state(self):
+        request = _request(client="app", method="go")
+        assert "pending" in repr(request)
+        request.completed = True
+        assert "done" in repr(request)
+
+
+class TestRequestStats:
+    def test_grant_and_completion_bookkeeping(self):
+        stats = RequestStats()
+        request = _request(client="a", arrival=10)
+        request.grant_time = 30
+        stats.record_grant(request, 30)
+        stats.record_completion(request)
+        assert stats.grants_by_client == {"a": 1}
+        assert stats.grant_log == [(30, "a", "m")]
+        assert stats.total_completed == 1
+        assert stats.wait_times == [20]
+
+    def test_mean_and_max_wait(self):
+        stats = RequestStats()
+        for arrival, grant in ((0, 10), (0, 30)):
+            request = _request(arrival=arrival)
+            request.grant_time = grant
+            stats.record_completion(request)
+        assert stats.mean_wait_time == 20.0
+        assert stats.max_wait_time == 30
+
+    def test_empty_stats(self):
+        stats = RequestStats()
+        assert stats.mean_wait_time == 0.0
+        assert stats.max_wait_time == 0
+        assert stats.fairness_index() == 1.0
+
+    def test_fairness_values(self):
+        stats = RequestStats()
+        stats.grants_by_client = {"a": 1, "b": 1, "c": 1}
+        assert stats.fairness_index() == 1.0
+        stats.grants_by_client = {"a": 3, "b": 0, "c": 0}
+        assert 0.3 < stats.fairness_index() < 0.4

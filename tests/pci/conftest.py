@@ -1,0 +1,66 @@
+"""Shared PCI testbench fixture."""
+
+import pytest
+
+from repro.hdl import Clock, Module
+from repro.kernel import NS, Simulator
+from repro.pci import (
+    PciBus,
+    PciCentralArbiter,
+    PciMaster,
+    PciMonitor,
+    PciTarget,
+)
+from repro.tlm import Memory
+
+CLOCK_PERIOD = 10 * NS
+
+
+class PciTestbench(Module):
+    """Clock + bus + arbiter + monitor + one memory target + N masters."""
+
+    def __init__(
+        self,
+        parent,
+        name,
+        n_masters=1,
+        mem_base=0x1000,
+        mem_size=0x1000,
+        strict_monitor=True,
+        **target_kwargs,
+    ):
+        super().__init__(parent, name)
+        self.clock = Clock(self, "clock", period=CLOCK_PERIOD)
+        self.bus = PciBus(self, "bus", n_masters=n_masters)
+        self.pci_arbiter = PciCentralArbiter(self, "arb", self.bus, self.clock.clk)
+        self.memory = Memory(mem_size)
+        self.target = PciTarget(
+            self, "target", self.bus, self.clock.clk, self.memory,
+            base=mem_base, size=mem_size, **target_kwargs,
+        )
+        self.monitor = PciMonitor(
+            self, "monitor", self.bus, self.clock.clk, strict=strict_monitor
+        )
+        self.masters = [
+            PciMaster(self, f"master{i}", self.bus, self.clock.clk, i)
+            for i in range(n_masters)
+        ]
+        self.master = self.masters[0]
+        self.mem_base = mem_base
+
+
+@pytest.fixture
+def make_tb():
+    """Factory fixture: build a testbench with custom target knobs."""
+
+    def build(**kwargs):
+        sim = Simulator()
+        tb = PciTestbench(sim, "tb", **kwargs)
+        return sim, tb
+
+    return build
+
+
+@pytest.fixture
+def tb_pair(make_tb):
+    return make_tb()

@@ -1,0 +1,92 @@
+"""Unit tests for PCI operation/transaction records."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.pci import (
+    CMD_CONFIG_READ,
+    CMD_MEM_READ,
+    CMD_MEM_WRITE,
+    PciOperation,
+    PciTransaction,
+    STATUS_PENDING,
+)
+
+
+class TestPciOperation:
+    def test_read_factory(self):
+        op = PciOperation.read(0x100, count=4)
+        assert op.is_read and not op.is_write
+        assert op.command == CMD_MEM_READ
+        assert op.count == 4
+        assert op.status == STATUS_PENDING
+        assert op.command_name == "mem_read"
+
+    def test_write_factory_scalar_and_list(self):
+        op = PciOperation.write(0x100, 7)
+        assert op.data == [7] and op.count == 1
+        op = PciOperation.write(0x100, [1, 2])
+        assert op.count == 2
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(ProtocolError):
+            PciOperation.read(0x101)
+
+    def test_address_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError):
+            PciOperation.read(1 << 32)
+
+    def test_write_without_data_rejected(self):
+        with pytest.raises(ProtocolError):
+            PciOperation(CMD_MEM_WRITE, 0x100)
+
+    def test_read_with_data_rejected(self):
+        with pytest.raises(ProtocolError):
+            PciOperation(CMD_MEM_READ, 0x100, data=[1])
+
+    def test_zero_count_read_rejected(self):
+        with pytest.raises(ProtocolError):
+            PciOperation.read(0x100, count=0)
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(ProtocolError):
+            PciOperation.write(0x100, [1 << 32])
+
+    def test_bad_byte_enables_rejected(self):
+        with pytest.raises(ProtocolError):
+            PciOperation.read(0x100, byte_enables=0x1F)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            PciOperation(0x4, 0x100)
+
+    def test_config_read_is_read(self):
+        op = PciOperation(CMD_CONFIG_READ, 0x0, count=1)
+        assert op.is_read
+
+    def test_latency_none_while_pending(self):
+        op = PciOperation.read(0x0)
+        assert op.latency is None
+        op.enqueue_time = 10
+        op.complete_time = 60
+        assert op.latency == 50
+
+
+class TestPciTransaction:
+    def test_signature_contents(self):
+        txn = PciTransaction(CMD_MEM_WRITE, 0x200, 0)
+        txn.data = [1, 2]
+        txn.byte_enables = [0xF, 0xF]
+        assert txn.signature() == (CMD_MEM_WRITE, 0x200, (1, 2), (0xF, 0xF))
+
+    def test_duration(self):
+        txn = PciTransaction(CMD_MEM_READ, 0, 100)
+        assert txn.duration is None
+        txn.end_time = 350
+        assert txn.duration == 250
+
+    def test_word_count_and_repr(self):
+        txn = PciTransaction(CMD_MEM_READ, 0x10, 0)
+        txn.data = [5]
+        assert txn.word_count == 1
+        assert "mem_read" in repr(txn)

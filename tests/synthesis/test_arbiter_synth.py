@@ -1,0 +1,175 @@
+"""Unit tests for arbiter lowering: executable policies and IR emission."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SynthesisError
+from repro.osss import (
+    Arbiter,
+    FcfsArbiter,
+    RandomArbiter,
+    RoundRobinArbiter,
+    StaticPriorityArbiter,
+)
+from repro.synthesis import (
+    RtlFcfsPolicy,
+    RtlRandomPolicy,
+    RtlRoundRobinPolicy,
+    RtlStaticPriorityPolicy,
+    RtlModule,
+    lower_arbiter,
+)
+from repro.synthesis.arbiter_synth import emit_arbiter_ir
+
+
+class TestLowering:
+    def test_kind_mapping(self):
+        paths = ["c0", "c1"]
+        assert isinstance(lower_arbiter(FcfsArbiter(), 2, paths), RtlFcfsPolicy)
+        assert isinstance(
+            lower_arbiter(RoundRobinArbiter(), 2, paths), RtlRoundRobinPolicy
+        )
+        assert isinstance(
+            lower_arbiter(RandomArbiter(), 2, paths), RtlRandomPolicy
+        )
+
+    def test_static_priority_maps_client_paths(self):
+        arbiter = StaticPriorityArbiter({"c1": 1, "c0": 9})
+        policy = lower_arbiter(arbiter, 2, ["c0", "c1"])
+        assert isinstance(policy, RtlStaticPriorityPolicy)
+        assert policy.priorities == [9, 1]
+
+    def test_unknown_kind_rejected(self):
+        class Custom(Arbiter):
+            kind = "tarot"
+
+        with pytest.raises(SynthesisError):
+            lower_arbiter(Custom(), 2, ["a", "b"])
+
+
+class TestFcfsPolicy:
+    def test_oldest_wins(self):
+        policy = RtlFcfsPolicy(3)
+        policy.tick([True, False, False])
+        policy.tick([True, True, False])
+        # Client 0 has waited longer.
+        assert policy.select([0, 1]) == 0
+
+    def test_age_resets_on_grant(self):
+        policy = RtlFcfsPolicy(2)
+        policy.tick([True, True])
+        policy.tick([True, True])
+        assert policy.select([0, 1]) == 0  # tie broken by index
+        # 0's age cleared; 1 is now oldest.
+        policy.tick([True, True])
+        assert policy.select([0, 1]) == 1
+
+    def test_age_saturates(self):
+        policy = RtlFcfsPolicy(1)
+        for __ in range(1000):
+            policy.tick([True])
+        assert policy.ages[0] == 255
+
+
+class TestRoundRobinPolicy:
+    def test_pointer_rotation(self):
+        policy = RtlRoundRobinPolicy(3)
+        assert policy.select([0, 1, 2]) == 0
+        assert policy.select([0, 1, 2]) == 1
+        assert policy.select([0, 1, 2]) == 2
+        assert policy.select([0, 1, 2]) == 0
+
+    def test_skips_ineligible(self):
+        policy = RtlRoundRobinPolicy(3)
+        policy.select([0, 1, 2])  # pointer -> 1
+        assert policy.select([0, 2]) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            RtlRoundRobinPolicy(2).select([])
+
+
+class TestRandomPolicy:
+    def test_lfsr_never_zero(self):
+        policy = RtlRandomPolicy(2, seed=0)
+        assert policy.lfsr != 0
+        for __ in range(100):
+            policy.tick([True, True])
+            assert policy.lfsr != 0
+
+    def test_deterministic(self):
+        def run(seed):
+            policy = RtlRandomPolicy(4, seed=seed)
+            picks = []
+            for __ in range(20):
+                policy.tick([True] * 4)
+                picks.append(policy.select([0, 1, 2, 3]))
+            return picks
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=3),
+    st.data(),
+)
+def test_policies_always_select_eligible(n_clients, which, data):
+    policy = [
+        RtlFcfsPolicy(n_clients),
+        RtlRoundRobinPolicy(n_clients),
+        RtlStaticPriorityPolicy(n_clients, list(range(n_clients))),
+        RtlRandomPolicy(n_clients),
+    ][which]
+    for __ in range(10):
+        requesting = data.draw(
+            st.lists(st.booleans(), min_size=n_clients, max_size=n_clients)
+        )
+        policy.tick(requesting)
+        eligible = [i for i, r in enumerate(requesting) if r]
+        if eligible:
+            assert policy.select(eligible) in eligible
+
+
+class TestIrEmission:
+    def _emit(self, kind, n=3, priorities=None):
+        module = RtlModule(f"arb_{kind}")
+        eligible = [module.add_net(f"e{i}", 1).ref() for i in range(n)]
+        enable = module.add_net("en", 1)
+        any_e, grant = emit_arbiter_ir(
+            module, kind, n, eligible, enable.ref(), priorities
+        )
+        return module, any_e, grant
+
+    @pytest.mark.parametrize("kind", ["fcfs", "round_robin", "static_priority",
+                                      "random"])
+    def test_emits_grant_nets(self, kind):
+        priorities = [2, 0, 1] if kind == "static_priority" else None
+        module, any_e, grant = self._emit(kind, priorities=priorities)
+        assert grant.width == 2
+        assert any(a.target is grant for a in module.assigns)
+
+    def test_round_robin_has_pointer_register(self):
+        module, __, ___ = self._emit("round_robin")
+        assert any(r.name == "arb_rr_pointer" for r in module.registers)
+
+    def test_fcfs_has_age_registers(self):
+        module, __, ___ = self._emit("fcfs")
+        ages = [r for r in module.registers if r.name.startswith("arb_age_")]
+        assert len(ages) == 3
+
+    def test_random_has_lfsr(self):
+        module, __, ___ = self._emit("random")
+        assert any(r.name == "arb_lfsr" for r in module.registers)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SynthesisError):
+            self._emit("tarot")
+
+    def test_vector_length_checked(self):
+        module = RtlModule("m")
+        enable = module.add_net("en", 1)
+        with pytest.raises(SynthesisError):
+            emit_arbiter_ir(module, "fcfs", 3,
+                            [module.add_net("e0", 1).ref()], enable.ref())

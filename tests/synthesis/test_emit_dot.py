@@ -1,0 +1,57 @@
+"""Tests for the DOT FSM export."""
+
+from repro.synthesis import (
+    Fsm,
+    Net,
+    UnOp,
+    build_channel_ir,
+    emit_fsm_dot,
+    emit_module_dot,
+)
+
+
+class TestFsmDot:
+    def test_basic_structure(self):
+        fsm = Fsm("ctrl", ["IDLE", "RUN"], "IDLE")
+        go = Net("go", 1)
+        fsm.add_transition("IDLE", go.ref(), "RUN")
+        fsm.add_transition("RUN", UnOp("~", go.ref()), "IDLE")
+        text = emit_fsm_dot(fsm)
+        assert text.startswith("digraph ctrl {")
+        assert "IDLE -> RUN" in text
+        assert "RUN -> IDLE" in text
+        assert text.rstrip().endswith("}")
+
+    def test_reset_state_marked(self):
+        fsm = Fsm("ctrl", ["A", "B"], "A")
+        text = emit_fsm_dot(fsm)
+        assert "A [shape=doublecircle]" in text
+
+    def test_edge_labels_cleaned(self):
+        fsm = Fsm("ctrl", ["A", "B"], "A")
+        go = Net("go_signal", 1)
+        fsm.add_transition("A", go.ref(), "B")
+        text = emit_fsm_dot(fsm)
+        assert "go_signal" in text
+        assert "Ref(" not in text
+
+    def test_unconditional_edge_has_no_label(self):
+        fsm = Fsm("ctrl", ["A", "B"], "A")
+        fsm.add_transition("A", None, "B")
+        text = emit_fsm_dot(fsm)
+        assert "A -> B;" in text
+
+
+class TestModuleDot:
+    def test_channel_fsm_exported(self):
+        module = build_channel_ir("chan", 2, ["m0"], "fcfs")
+        text = emit_module_dot(module)
+        assert "digraph chan_chan_server" in text
+        assert "IDLE -> EXEC" in text
+        assert "EXEC -> DONE" in text
+        assert "DONE -> IDLE" in text
+
+    def test_module_without_fsm(self):
+        from repro.synthesis import RtlModule
+
+        assert emit_module_dot(RtlModule("empty")) == ""

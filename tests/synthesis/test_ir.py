@@ -1,0 +1,167 @@
+"""Unit tests for the RTL IR."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis import (
+    BinOp,
+    BitSelect,
+    Concat,
+    Const,
+    Fsm,
+    Mux,
+    Net,
+    Register,
+    RtlModule,
+    UnOp,
+    clog2,
+    mux_chain,
+)
+
+
+class TestClog2:
+    def test_values(self):
+        assert clog2(1) == 1
+        assert clog2(2) == 1
+        assert clog2(3) == 2
+        assert clog2(4) == 2
+        assert clog2(5) == 3
+        assert clog2(256) == 8
+
+    def test_invalid(self):
+        with pytest.raises(SynthesisError):
+            clog2(0)
+
+
+class TestExpressions:
+    def test_const_range_checked(self):
+        Const(3, 2)
+        with pytest.raises(SynthesisError):
+            Const(4, 2)
+        with pytest.raises(SynthesisError):
+            Const(0, 0)
+
+    def test_binop_width_rules(self):
+        a, b = Net("a", 4), Net("b", 4)
+        assert BinOp("&", a.ref(), b.ref()).width == 4
+        assert BinOp("==", a.ref(), b.ref()).width == 1
+        with pytest.raises(SynthesisError):
+            BinOp("&", a.ref(), Net("c", 5).ref())
+        with pytest.raises(SynthesisError):
+            BinOp("**", a.ref(), b.ref())
+
+    def test_unop_widths(self):
+        a = Net("a", 4)
+        assert UnOp("~", a.ref()).width == 4
+        assert UnOp("|", a.ref()).width == 1
+
+    def test_mux_rules(self):
+        sel = Net("sel", 1)
+        a, b = Net("a", 8), Net("b", 8)
+        mux = Mux(sel.ref(), a.ref(), b.ref())
+        assert mux.width == 8
+        with pytest.raises(SynthesisError):
+            Mux(Net("wide", 2).ref(), a.ref(), b.ref())
+        with pytest.raises(SynthesisError):
+            Mux(sel.ref(), a.ref(), Net("c", 4).ref())
+
+    def test_bitselect_and_concat(self):
+        a = Net("a", 8)
+        assert BitSelect(a.ref(), 7).width == 1
+        with pytest.raises(SynthesisError):
+            BitSelect(a.ref(), 8)
+        assert Concat(a.ref(), Net("b", 4).ref()).width == 12
+        with pytest.raises(SynthesisError):
+            Concat()
+
+    def test_mux_chain_priority(self):
+        default = Const(0, 4)
+        sel_a, sel_b = Net("sa", 1), Net("sb", 1)
+        chain = mux_chain(default, [(sel_a.ref(), Const(1, 4)),
+                                    (sel_b.ref(), Const(2, 4))])
+        # Outermost mux tests the first (highest-priority) condition.
+        assert isinstance(chain, Mux)
+        assert chain.select.net.name == "sa"
+
+    def test_node_and_mux_counting(self):
+        sel = Net("s", 1)
+        expr = Mux(sel.ref(), Const(1, 4), Const(0, 4))
+        assert expr.count_muxes() == 1
+        assert expr.count_nodes() == 4
+
+
+class TestStructure:
+    def test_register_reset_checked(self):
+        Register("r", 4, reset_value=15)
+        with pytest.raises(SynthesisError):
+            Register("r", 4, reset_value=16)
+
+    def test_module_name_collisions(self):
+        module = RtlModule("m")
+        module.add_net("x", 4)
+        with pytest.raises(SynthesisError):
+            module.add_register("x", 4)
+
+    def test_assign_width_checked(self):
+        module = RtlModule("m")
+        target = module.add_net("t", 4)
+        with pytest.raises(SynthesisError):
+            module.add_assign(target, Const(0, 5))
+
+    def test_clocked_assign_needs_register(self):
+        module = RtlModule("m")
+        net = module.add_net("n", 4)
+        with pytest.raises(SynthesisError):
+            module.add_clocked_assign(net, Const(0, 4))
+
+    def test_port_lookup(self):
+        module = RtlModule("m")
+        module.add_port("clk", "in", 1)
+        assert module.port("clk").direction == "in"
+        with pytest.raises(SynthesisError):
+            module.port("nope")
+        with pytest.raises(SynthesisError):
+            module.add_port("x", "sideways", 1)
+
+    def test_resource_counters(self):
+        module = RtlModule("m")
+        reg = module.add_register("r", 8)
+        sel = module.add_net("sel", 1)
+        out = module.add_net("out", 8)
+        module.add_assign(out, Mux(sel.ref(), reg.ref(), Const(0, 8)))
+        assert module.flip_flop_bits() == 8
+        assert module.mux_count() == 1
+        assert module.expression_nodes() >= 4
+
+
+class TestFsm:
+    def test_construction(self):
+        fsm = Fsm("ctrl", ["IDLE", "RUN"], "IDLE")
+        assert fsm.state_bits == 1
+        assert fsm.encode("RUN") == 1
+        with pytest.raises(SynthesisError):
+            fsm.encode("NOPE")
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            Fsm("f", [], "X")
+        with pytest.raises(SynthesisError):
+            Fsm("f", ["A", "A"], "A")
+        with pytest.raises(SynthesisError):
+            Fsm("f", ["A"], "B")
+
+    def test_transitions_checked(self):
+        fsm = Fsm("ctrl", ["A", "B"], "A")
+        go = Net("go", 1)
+        fsm.add_transition("A", go.ref(), "B")
+        with pytest.raises(SynthesisError):
+            fsm.add_transition("A", go.ref(), "C")
+        with pytest.raises(SynthesisError):
+            fsm.add_transition("A", Net("wide", 2).ref(), "B")
+
+    def test_fsm_registers_in_module(self):
+        module = RtlModule("m")
+        fsm = Fsm("ctrl", ["A", "B", "C"], "A")
+        module.add_fsm(fsm)
+        assert fsm.state_register in module.registers
+        assert module.flip_flop_bits() == 2

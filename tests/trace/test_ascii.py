@@ -1,0 +1,90 @@
+"""Unit tests for the ASCII waveform renderer."""
+
+from repro.hdl import Clock, Module
+from repro.kernel import NS, Simulator, Timeout
+from repro.trace import WaveformCapture, render
+
+
+def _platform():
+    sim = Simulator()
+    clock = Clock(sim, "clk", period=10 * NS)
+    top = Module(sim, "top")
+    data = top.signal("data", width=8, init=0)
+    enable = top.signal("enable", width=1, init=0)
+
+    def proc():
+        yield Timeout(20 * NS)
+        enable.write(1)
+        data.write(0xAB)
+        yield Timeout(20 * NS)
+        enable.write(0)
+
+    sim.spawn(proc, "p")
+    capture = WaveformCapture()
+    capture.add_signals([clock.clk, data, enable])
+    sim.add_tracer(capture)
+    sim.run(60 * NS)
+    return capture
+
+
+class TestRender:
+    def test_scalar_level_art(self):
+        capture = _platform()
+        text = render(capture, ["top.enable"], 0, 60 * NS, 5 * NS)
+        line = [l for l in text.splitlines() if l.startswith("enable")][0]
+        art = line.split()[-1]
+        assert set(art) <= {"#", "_"}
+        assert "_" in art and "#" in art
+        # Low for the first 4 columns (0..15 ns), high afterwards.
+        assert art.startswith("____")
+
+    def test_clock_alternates(self):
+        capture = _platform()
+        text = render(capture, ["clk.clk"], 0, 40 * NS, 5 * NS)
+        line = [l for l in text.splitlines() if "clk" in l][0]
+        art = line.split()[-1]
+        assert "_#" in art and "#_" in art
+
+    def test_vector_shows_hex_at_change(self):
+        capture = _platform()
+        text = render(capture, ["top.data"], 0, 60 * NS, 5 * NS)
+        assert "ab" in text
+        assert "00" in text
+
+    def test_labels_override(self):
+        capture = _platform()
+        text = render(
+            capture, ["top.enable"], 0, 30 * NS, 5 * NS,
+            labels={"top.enable": "EN"},
+        )
+        assert "EN" in text
+
+    def test_time_ruler_present(self):
+        capture = _platform()
+        text = render(capture, ["top.enable"], 0, 60 * NS, 10 * NS,
+                      time_unit=10 * NS)
+        ruler = text.splitlines()[0]
+        assert "0" in ruler and "5" in ruler
+
+    def test_tristate_rendering(self):
+        sim = Simulator()
+        top = Module(sim, "top")
+        bus = top.resolved_signal("wire", 1)
+        driver = bus.get_driver("d")
+
+        def proc():
+            yield Timeout(10 * NS)
+            driver.write(1)
+            yield Timeout(10 * NS)
+            driver.release()
+            yield Timeout(10 * NS)
+
+        sim.spawn(proc, "p")
+        capture = WaveformCapture()
+        capture.add_signal(bus)
+        sim.add_tracer(capture)
+        sim.run(40 * NS)
+        text = render(capture, ["top.wire"], 0, 30 * NS, 5 * NS)
+        art = text.splitlines()[1].split()[-1]
+        assert "~" in art  # tri-state portions
+        assert "#" in art  # driven-high portion

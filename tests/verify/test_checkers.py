@@ -1,0 +1,110 @@
+"""Unit tests for runtime invariant checkers."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hdl import Module
+from repro.kernel import NS, Simulator, Timeout
+from repro.verify import InvariantChecker, OneHotChecker
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestInvariantChecker:
+    def test_passing_invariant(self, sim):
+        top = Module(sim, "top")
+        signal = top.signal("s", width=8, init=0)
+        checker = InvariantChecker(
+            top, "chk", signal, lambda v: v.to_int() < 100, "value too large"
+        )
+
+        def driver():
+            for value in (10, 20, 99):
+                signal.write(value)
+                yield Timeout(10 * NS)
+
+        sim.spawn(driver, "d")
+        sim.run(100 * NS)
+        assert checker.checks == 3
+        assert not checker.violations
+
+    def test_strict_violation_raises(self, sim):
+        top = Module(sim, "top")
+        signal = top.signal("s", width=8, init=0)
+        InvariantChecker(top, "chk", signal, lambda v: v.to_int() < 100,
+                         "value too large")
+
+        def driver():
+            signal.write(200)
+            yield Timeout(0)
+
+        sim.spawn(driver, "d")
+        with pytest.raises(ProtocolError, match="value too large"):
+            sim.run(10 * NS)
+
+    def test_lenient_collects(self, sim):
+        top = Module(sim, "top")
+        signal = top.signal("s", width=8, init=0)
+        checker = InvariantChecker(top, "chk", signal,
+                                   lambda v: v.to_int() % 2 == 0,
+                                   "odd value", strict=False)
+
+        def driver():
+            for value in (1, 2, 3):
+                signal.write(value)
+                yield Timeout(10 * NS)
+
+        sim.spawn(driver, "d")
+        sim.run(100 * NS)
+        assert len(checker.violations) == 2
+
+
+class TestOneHotChecker:
+    def test_single_assertion_ok(self, sim):
+        top = Module(sim, "top")
+        grants = [top.signal(f"g{i}", width=1, init=0) for i in range(3)]
+        checker = OneHotChecker(top, "chk", grants)
+
+        def driver():
+            grants[1].write(1)
+            yield Timeout(10 * NS)
+            grants[1].write(0)
+            grants[2].write(1)
+            yield Timeout(10 * NS)
+
+        sim.spawn(driver, "d")
+        sim.run(100 * NS)
+        assert not checker.violations
+        assert checker.checks > 0
+
+    def test_double_assertion_raises(self, sim):
+        top = Module(sim, "top")
+        grants = [top.signal(f"g{i}", width=1, init=0) for i in range(2)]
+        OneHotChecker(top, "chk", grants)
+
+        def driver():
+            grants[0].write(1)
+            grants[1].write(1)
+            yield Timeout(0)
+
+        sim.spawn(driver, "d")
+        with pytest.raises(ProtocolError, match="multiple asserted"):
+            sim.run(10 * NS)
+
+    def test_active_low_mode(self, sim):
+        top = Module(sim, "top")
+        gnt_n = [top.signal(f"g{i}", width=1, init=1) for i in range(2)]
+        checker = OneHotChecker(top, "chk", gnt_n, active_low=True,
+                                strict=False)
+
+        def driver():
+            gnt_n[0].write(0)
+            gnt_n[1].write(0)
+            yield Timeout(0)
+
+        sim.spawn(driver, "d")
+        sim.run(10 * NS)
+        assert checker.violations

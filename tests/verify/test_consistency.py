@@ -1,0 +1,83 @@
+"""Unit tests for consistency reporting."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.verify import (
+    ConsistencyReport,
+    check_bus_transactions,
+    check_traces,
+    compare_streams,
+)
+
+
+class TestCompareStreams:
+    def test_equal_streams(self):
+        report = ConsistencyReport("a", "b")
+        compare_streams(report, "s", [1, 2, 3], [1, 2, 3])
+        assert report.consistent
+        assert report.compared_items == 3
+
+    def test_length_mismatch(self):
+        report = ConsistencyReport("a", "b")
+        compare_streams(report, "s", [1, 2], [1])
+        assert not report.consistent
+        assert "2 items vs 1" in report.mismatches[0]
+
+    def test_value_mismatch_reports_index(self):
+        report = ConsistencyReport("a", "b")
+        compare_streams(report, "s", [1, 2, 3], [1, 9, 3])
+        assert "s[1]" in report.mismatches[0]
+
+
+class TestCheckTraces:
+    def test_consistent(self):
+        report = check_traces({"app": [1, 2]}, {"app": [1, 2]})
+        assert report.consistent
+        report.require_consistent()  # does not raise
+
+    def test_missing_stream(self):
+        report = check_traces({"app": [1]}, {})
+        assert not report.consistent
+        with pytest.raises(ConsistencyError):
+            report.require_consistent()
+
+    def test_summary_text(self):
+        report = check_traces({"app": [1]}, {"app": [2]}, "pre", "post")
+        text = report.summary()
+        assert "INCONSISTENT" in text
+        assert "pre vs post" in text
+
+    def test_consistent_summary(self):
+        report = check_traces({"app": [1]}, {"app": [1]})
+        assert "CONSISTENT" in report.summary()
+
+    def test_error_message_truncates(self):
+        traces_a = {f"s{i}": [1] for i in range(10)}
+        traces_b = {f"s{i}": [2] for i in range(10)}
+        report = check_traces(traces_a, traces_b)
+        with pytest.raises(ConsistencyError, match="more"):
+            report.require_consistent()
+
+
+class TestBusTransactions:
+    def test_ordered_equal(self):
+        sigs = [(6, 0x100, (1,), (0xF,))]
+        assert check_bus_transactions(sigs, list(sigs)).consistent
+
+    def test_ordered_mismatch(self):
+        a = [(6, 0x100, (1,), (0xF,))]
+        b = [(6, 0x104, (1,), (0xF,))]
+        assert not check_bus_transactions(a, b).consistent
+
+    def test_order_insensitive(self):
+        a = [(6, 0x100, (1,), (0xF,)), (7, 0x200, (2,), (0xF,))]
+        b = list(reversed(a))
+        assert not check_bus_transactions(a, b).consistent
+        assert check_bus_transactions(a, b, order_insensitive=True).consistent
+
+    def test_multiset_mismatch_detected(self):
+        a = [(6, 0x100, (1,), (0xF,))] * 2
+        b = [(6, 0x100, (1,), (0xF,))]
+        report = check_bus_transactions(a, b, order_insensitive=True)
+        assert not report.consistent
