@@ -10,7 +10,7 @@ in GTKWave) and as ASCII art on stdout.
 Run:  python examples/pci_system.py
 """
 
-from repro.core import CommandType, generate_workload
+from repro.core import CommandType
 from repro.flow import PciPlatformConfig, build_pci_platform
 from repro.kernel import MS, NS
 from repro.trace import VcdTracer, WaveformCapture, render

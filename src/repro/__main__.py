@@ -9,6 +9,8 @@ Commands:
 * ``library``     — list the interface library contents.
 * ``report``      — synthesize the example design and print the netlist
   report (add ``--verilog`` / ``--vhdl`` to print the generated HDL).
+* ``lint``        — static design-rule checks over the example platforms
+  (``--strict``, ``--suppress RULE[@GLOB]``, ``--list-rules``).
 """
 
 from __future__ import annotations
@@ -89,6 +91,12 @@ def _cmd_library(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     bundle = build_pci_platform(
         _default_workloads(args.seed, args.commands), synthesize=True
@@ -120,6 +128,10 @@ def main(argv: "list[str] | None" = None) -> int:
     waveforms.add_argument("--vcd", default="repro_waveforms.vcd",
                            help="output VCD path")
     sub.add_parser("library", help="list interface library contents")
+    lint = sub.add_parser("lint", help="run the static design rules")
+    from .lint import cli as lint_cli
+
+    lint_cli.add_arguments(lint)
     report = sub.add_parser("report", help="print the synthesis report")
     report.add_argument("--verilog", action="store_true",
                         help="also print generated Verilog")
@@ -131,6 +143,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "refine": _cmd_refine,
         "waveforms": _cmd_waveforms,
         "library": _cmd_library,
+        "lint": _cmd_lint,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

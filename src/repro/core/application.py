@@ -14,7 +14,6 @@ from __future__ import annotations
 import typing
 
 from ..hdl.module import Module
-from ..kernel.event import Event
 from ..kernel.process import Timeout
 from ..osss.global_object import GlobalObject
 from .bus_interface import BusInterface, BusInterfaceChannel

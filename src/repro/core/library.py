@@ -10,7 +10,6 @@ so a platform builder picks the right IP by name.
 
 from __future__ import annotations
 
-import typing
 
 from ..errors import RefinementError
 from .bus_interface import BusInterface

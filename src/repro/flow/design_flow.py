@@ -6,10 +6,17 @@ Stages::
         -> functional system model        (units under design + functional
                                            IPs + stimuli generators)
         -> validation by simulation
+        -> static design-rule lint        (structural + guard analysis)
         -> communication refinement       (library interface swap)
         -> implementation model           (pin-accurate bus interface)
         -> communication synthesis        (the ODETTE tool)
         -> post-synthesis validation      (re-simulate, check consistency)
+
+The lint stage runs the static design rules (:mod:`repro.lint`) over
+freshly-built functional and implementation models *before* synthesis is
+attempted: error-severity findings abort the flow with a
+:class:`~repro.errors.SynthesisError` instead of letting a broken design
+reach the synthesizer.
 
 :class:`DesignFlow` drives the stages over user-supplied platform
 builders and records a :class:`FlowReport` with every intermediate
@@ -22,7 +29,8 @@ import time
 import typing
 
 from ..core.refinement import PlatformHandle, RunResult
-from ..errors import RefinementError
+from ..errors import RefinementError, SynthesisError
+from ..lint import LintConfig, LintReport, lint_design
 from ..verify.consistency import ConsistencyReport, check_traces
 
 #: Signature of the functional-model builder.
@@ -60,6 +68,7 @@ class FlowReport:
         self.refinement_check: ConsistencyReport | None = None
         self.synthesis_check: ConsistencyReport | None = None
         self.synthesis_result: object | None = None
+        self.lint_report: LintReport | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -83,6 +92,8 @@ class DesignFlow:
     :param functional_builder: builds the high-level executable model.
     :param implementation_builder: builds the implementation model, with
         or without communication synthesis applied.
+    :param lint_config: policy for the static design-rule stage
+        (suppressions, strictness); default policy when ``None``.
     """
 
     def __init__(
@@ -90,10 +101,12 @@ class DesignFlow:
         specification: typing.Mapping[str, object],
         functional_builder: FunctionalBuilder,
         implementation_builder: ImplementationBuilder,
+        lint_config: LintConfig | None = None,
     ) -> None:
         self.specification = dict(specification)
         self.functional_builder = functional_builder
         self.implementation_builder = implementation_builder
+        self.lint_config = lint_config
 
     def run(self, max_time: int) -> FlowReport:
         """Execute every stage; raises on hard failures."""
@@ -108,6 +121,25 @@ class DesignFlow:
         with _stage(report, "build + simulate functional model") as stage:
             report.functional_result = self.functional_builder().run(max_time)
             stage.detail = repr(report.functional_result)
+
+        with _stage(report, "static design-rule lint") as stage:
+            # Fresh builds: the stage-2 platforms have already been run,
+            # and lint analyses a built-but-not-run design.
+            lint = LintReport("flow")
+            lint.extend(lint_design(
+                self.functional_builder().sim, self.lint_config,
+                label="functional",
+            ))
+            platform, __ = self.implementation_builder(False)
+            lint.extend(lint_design(
+                platform.sim, self.lint_config, label="implementation",
+            ))
+            report.lint_report = lint
+            stage.detail = lint.summary_line()
+            if lint.has_errors:
+                raise SynthesisError(
+                    "design-rule violations block synthesis:\n" + lint.render()
+                )
 
         with _stage(report, "refine communication (library swap)") as stage:
             platform, __ = self.implementation_builder(False)

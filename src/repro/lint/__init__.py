@@ -1,0 +1,51 @@
+"""Static design-rule checking (``repro.lint``).
+
+A rule-based analyzer over the three artefact levels of the flow:
+
+* the elaborated **module hierarchy** (MOD0xx rules — unbound ports,
+  write conflicts, dead event waits, combinational loops);
+* the **OSSS global objects** (GRD0xx rules — impure guards, statically
+  dead guards, cross-object wait cycles, non-bool guards);
+* the **synthesis IR** (IR0xx rules — unreachable FSM states, width
+  mismatches, undriven storage and wires, driver conflicts).
+
+Entry points: :func:`lint_design`, :func:`lint_rtl_module`,
+:func:`lint_synthesis`, and ``python -m repro lint`` on the CLI.
+"""
+
+from .diagnostics import Diagnostic, LintReport, Severity, worst_severity
+from .engine import (
+    DESIGN,
+    IR,
+    LintConfig,
+    LintEngine,
+    LintRule,
+    LintRuleError,
+    RuleRegistry,
+    Suppression,
+    default_registry,
+    register,
+)
+from .context import DesignContext
+from .runner import lint_design, lint_rtl_module, lint_synthesis
+
+__all__ = [
+    "DESIGN",
+    "IR",
+    "DesignContext",
+    "Diagnostic",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "LintRule",
+    "LintRuleError",
+    "RuleRegistry",
+    "Severity",
+    "Suppression",
+    "default_registry",
+    "lint_design",
+    "lint_rtl_module",
+    "lint_synthesis",
+    "register",
+    "worst_severity",
+]

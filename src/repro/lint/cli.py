@@ -1,0 +1,132 @@
+"""``python -m repro lint`` — lint the canonical example platforms.
+
+Builds each checked-in platform (functional, PCI pin-accurate, PCI
+post-synthesis, Wishbone), runs the design-level rules over the built
+models and the IR-level rules over every synthesized netlist, and exits
+non-zero when any error-severity finding survives the suppression list.
+This is the command CI runs to keep the examples lint-clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import typing
+
+from .diagnostics import LintReport
+from .engine import LintConfig, LintRuleError, default_registry
+from .runner import lint_design, lint_synthesis
+
+#: Canonical platform labels, in lint order.
+TARGETS = ("functional", "pci", "pci-synth", "wishbone")
+
+
+def _workloads(seed: int, n_commands: int):
+    from ..core import generate_workload
+
+    return [generate_workload(seed=seed, n_commands=n_commands,
+                              address_span=0x400, max_burst=4)]
+
+
+def _lint_target(
+    target: str, config: LintConfig, seed: int, n_commands: int
+) -> list[LintReport]:
+    from ..flow import (
+        build_functional_platform,
+        build_pci_platform,
+        build_wishbone_platform,
+    )
+
+    workloads = _workloads(seed, n_commands)
+    if target == "functional":
+        bundle = build_functional_platform(workloads)
+        return [lint_design(bundle.handle.sim, config, label=target)]
+    if target == "pci":
+        bundle = build_pci_platform(workloads)
+        return [lint_design(bundle.handle.sim, config, label=target)]
+    if target == "pci-synth":
+        bundle = build_pci_platform(workloads, synthesize=True)
+        return [
+            lint_design(bundle.handle.sim, config, label=target),
+            lint_synthesis(bundle.synthesis, config, label=f"{target} netlists"),
+        ]
+    if target == "wishbone":
+        bundle = build_wishbone_platform(workloads)
+        return [lint_design(bundle.handle.sim, config, label=target)]
+    raise ValueError(f"unknown lint target {target!r}")
+
+
+def _split_suppressions(entries: typing.Iterable[str]) -> list[str]:
+    result: list[str] = []
+    for entry in entries:
+        result.extend(part for part in entry.split(",") if part.strip())
+    return result
+
+
+def list_rules() -> str:
+    """Human-readable rule catalogue (``--list-rules``)."""
+    lines = []
+    for rule in default_registry.rules():
+        lines.append(
+            f"{rule.rule_id}  {rule.default_severity.label():7s} "
+            f"{rule.name:22s} [{rule.target}] {rule.description}"
+        )
+    return "\n".join(lines)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors",
+    )
+    parser.add_argument(
+        "--suppress", action="append", default=[], metavar="RULE[@GLOB]",
+        help="suppress a rule, optionally limited to paths matching the "
+             "glob (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--target", action="append", choices=TARGETS, default=None,
+        help="platform(s) to lint (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        config = LintConfig(
+            suppress=_split_suppressions(args.suppress),
+            strict=args.strict,
+        )
+    except LintRuleError as exc:
+        print(f"error: {exc}")
+        return 2
+    targets = args.target or list(TARGETS)
+    failed = False
+    for target in targets:
+        for report in _lint_target(target, config, args.seed, args.commands):
+            print(report.render())
+            if report.has_errors:
+                failed = True
+    return 1 if failed else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="static design-rule checks over the example platforms",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--commands", type=int, default=20)
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,341 @@
+"""Guard and arbitration-hazard rules over OSSS global objects (GRD0xx).
+
+The paper's safety argument rests on guards being *pure predicates over
+the shared state* that some method eventually makes true. These rules
+check exactly that, statically, per connection group:
+
+* **GRD001** — a guard that mutates state or depends on simulation
+  objects (signals, ports, events) is impure: its value can change
+  between the scheduler's guard evaluation and the method grant.
+* **GRD002** — a guard over attributes no method ever writes can never
+  change; if it is also false initially, every caller deadlocks.
+* **GRD003** — guarded calls whose enabling writers are themselves stuck
+  behind guarded calls, cyclically (the classic two-channel deadlock).
+* **GRD004** — a guard returning a non-bool (tolerated at runtime when
+  0/1-like, see :meth:`GuardedMethodDescriptor.guard_true`, but worth
+  fixing at the source).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import typing
+
+from ..hdl.port import Port
+from ..hdl.signal import Signal
+from ..kernel.event import Event
+from ..kernel.process import Process
+from ..osss.global_object import GlobalObject
+from . import astutils
+from .astutils import UNRESOLVED
+from .context import DesignContext
+from .diagnostics import Diagnostic, Severity
+from .engine import DESIGN, LintRule, register
+
+
+class _GroupView:
+    """Pre-chewed facts about one connection group."""
+
+    def __init__(self, handles: list[GlobalObject]) -> None:
+        self.handles = handles
+        self.root = handles[0]._root()
+        self.space = self.root.space
+        self.cls = type(self.space.state)
+        self.state = self.space.state
+        self.path = self.root.path
+        self.method_asts = astutils.class_method_asts(self.cls)
+        #: method name -> attributes it writes (mutation heuristic).
+        self.method_writes: dict[str, set[str]] = {
+            name: astutils.self_attr_writes(node)
+            for name, node in self.method_asts.items()
+            if name != "__init__"
+        }
+
+    def guarded(self) -> list[tuple[str, typing.Any]]:
+        """``(name, descriptor)`` for methods that carry a guard."""
+        return sorted(
+            (name, descriptor)
+            for name, descriptor in self.space.methods.items()
+            if descriptor.guard is not None
+        )
+
+    def guard_reads(self, descriptor: typing.Any) -> set[str] | None:
+        """State attributes the guard depends on (property-expanded).
+
+        ``None`` when the guard source is unavailable.
+        """
+        node = astutils.callable_ast(descriptor.guard)
+        if node is None:
+            return None
+        return astutils.expand_guard_reads(
+            self.cls, astutils.self_attr_reads(node)
+        )
+
+    def enabling_writers(self, reads: set[str]) -> set[str]:
+        """Methods whose writes intersect the guard's read set."""
+        return {
+            name
+            for name, writes in self.method_writes.items()
+            if writes & reads
+        }
+
+    def eval_guard(self, descriptor: typing.Any) -> object:
+        """Evaluate the guard on a copy of the *initial* state.
+
+        Returns :data:`UNRESOLVED` when the state cannot be copied or the
+        guard raises (both mean "cannot tell statically").
+        """
+        try:
+            probe = copy.deepcopy(self.state)
+        except Exception:
+            return UNRESOLVED
+        try:
+            return descriptor.guard(probe)
+        except Exception:
+            return UNRESOLVED
+
+
+def _group_views(design: DesignContext) -> list[_GroupView]:
+    return [_GroupView(handles) for handles in design.connection_groups()]
+
+
+@register
+class ImpureGuardRule(LintRule):
+    """A guard mutates state or reads live simulation objects."""
+
+    rule_id = "GRD001"
+    name = "impure-guard"
+    target = DESIGN
+    default_severity = Severity.WARNING
+    description = "guards must be pure predicates over the shared state"
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        for group in _group_views(design):
+            for method_name, descriptor in group.guarded():
+                node = astutils.callable_ast(descriptor.guard)
+                if node is None:
+                    continue
+                path = f"{group.path}.{method_name}"
+                for finding in astutils.find_impurities(node):
+                    yield self.emit(
+                        path,
+                        f"guard is impure ({finding.kind}: {finding.detail})",
+                        "restrict the guard to reads of plain state "
+                        "attributes and pure builtins",
+                    )
+                for detail in self._simulation_reads(group, node):
+                    yield self.emit(
+                        path,
+                        f"guard reads a simulation object ({detail}); its "
+                        "value can change between evaluation and grant",
+                        "mirror the signal into a plain attribute updated "
+                        "by a method, and guard on that",
+                    )
+
+    @staticmethod
+    def _simulation_reads(group: _GroupView, node: astutils.FunctionNode
+                          ) -> list[str]:
+        self_name = astutils.first_arg_name(node)
+        found: list[str] = []
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Attribute):
+                continue
+            chain = astutils.attr_chain(sub)
+            if not chain or chain[0] != self_name:
+                continue
+            resolved = astutils.resolve_chain(group.state, chain)
+            if isinstance(resolved, (Signal, Port, Event)):
+                found.append(".".join(chain[1:]))
+        return sorted(set(found))
+
+
+@register
+class DeadGuardRule(LintRule):
+    """A statically-false guard no method can ever make true."""
+
+    rule_id = "GRD002"
+    name = "dead-guard"
+    target = DESIGN
+    default_severity = Severity.ERROR
+    description = (
+        "a guard over never-written attributes that starts false blocks "
+        "every caller forever"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        for group in _group_views(design):
+            for method_name, descriptor in group.guarded():
+                reads = group.guard_reads(descriptor)
+                if reads is None:
+                    continue
+                writers = group.enabling_writers(reads) if reads else set()
+                if writers:
+                    continue
+                value = group.eval_guard(descriptor)
+                if value is UNRESOLVED or value:
+                    continue
+                what = (
+                    "depends on no state attribute" if not reads else
+                    "reads only attributes no method writes "
+                    f"({', '.join(sorted(reads))})"
+                )
+                yield self.emit(
+                    f"{group.path}.{method_name}",
+                    f"guard is false initially and {what}: it can never "
+                    "become true (static deadlock)",
+                    "make some method of the shared class write the "
+                    "guarded attributes, or fix the guard predicate",
+                )
+
+
+@register
+class GuardWaitCycleRule(LintRule):
+    """Guarded calls that transitively wait on each other (deadlock risk)."""
+
+    rule_id = "GRD003"
+    name = "guard-wait-cycle"
+    target = DESIGN
+    default_severity = Severity.WARNING
+    description = (
+        "every path that could enable a blocked guard is itself behind a "
+        "blocked guard, cyclically"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        sites = self._call_sites(design)
+        blocking = [site for site in sites if site["blocking"]]
+        if not blocking:
+            return
+        edges: dict[int, set[int]] = {}
+        labels: dict[int, str] = {}
+        for site in blocking:
+            key = id(site)
+            labels[key] = (
+                f"{site['info'].process.name} -> "
+                f"{site['group'].path}.{site['method']}"
+            )
+            dependencies = self._dependencies(site, sites)
+            if dependencies is None:
+                continue
+            edges[key] = {id(dep) for dep in dependencies}
+        from .module_rules import _find_cycles
+
+        for cycle in _find_cycles(edges):
+            chain = sorted(labels[node] for node in cycle)
+            yield self.emit(
+                chain[0].split(" -> ")[1],
+                "potential guard deadlock cycle: " + "; ".join(chain),
+                "reorder the calls, or enable one guard from an "
+                "always-runnable process",
+            )
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _call_sites(design: DesignContext) -> list[dict]:
+        groups = {id(g.root): g for g in _group_views(design)}
+        sites: list[dict] = []
+        for info in design.processes:
+            if not info.analyzable or info.process.kind != Process.THREAD:
+                continue
+            for call in info.channel_calls:
+                group = groups.get(id(call.handle._root()))
+                if group is None:
+                    continue
+                descriptor = group.space.methods.get(call.method)
+                blocking = False
+                if descriptor is not None and descriptor.guard is not None:
+                    value = group.eval_guard(descriptor)
+                    blocking = value is not UNRESOLVED and not value
+                sites.append({
+                    "info": info,
+                    "order": call.order,
+                    "group": group,
+                    "method": call.method,
+                    "descriptor": descriptor,
+                    "blocking": blocking,
+                })
+        return sites
+
+    @staticmethod
+    def _dependencies(site: dict, sites: list[dict]) -> "list[dict] | None":
+        """Blocking sites *site* waits on; ``None`` when it can proceed."""
+        group: _GroupView = site["group"]
+        descriptor = site["descriptor"]
+        reads = group.guard_reads(descriptor) if descriptor else None
+        if not reads:
+            return None
+        writers = group.enabling_writers(reads)
+        # A guarded method cannot enable itself: its body (and therefore
+        # its writes) only runs after its own guard has already passed.
+        # app_data_get popping the response queue must not make it its
+        # own "enabling writer".
+        writers.discard(site["method"])
+        if not writers:
+            return None  # GRD002 territory, not a cycle
+        occurrences = [
+            other for other in sites
+            if other["group"] is group and other["method"] in writers
+        ]
+        if not occurrences:
+            return None
+        dependencies: list[dict] = []
+        for occurrence in occurrences:
+            same_thread = occurrence["info"] is site["info"]
+            if same_thread and occurrence["order"] >= site["order"]:
+                # The enabler sits behind this very call in program order.
+                dependencies.append(site)
+                continue
+            prefix = [
+                other for other in sites
+                if other["info"] is occurrence["info"]
+                and other["order"] < occurrence["order"]
+                and other["blocking"]
+            ]
+            if not prefix:
+                return None  # an unobstructed enabler exists
+            dependencies.extend(prefix)
+        return dependencies
+
+
+@register
+class NonBoolGuardRule(LintRule):
+    """A guard returns something other than a bool."""
+
+    rule_id = "GRD004"
+    name = "non-bool-guard"
+    target = DESIGN
+    default_severity = Severity.WARNING
+    description = (
+        "guards should return bool; 0/1-like values are coerced at "
+        "runtime, everything else raises"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        for group in _group_views(design):
+            for method_name, descriptor in group.guarded():
+                value = group.eval_guard(descriptor)
+                if value is UNRESOLVED or isinstance(value, bool):
+                    continue
+                path = f"{group.path}.{method_name}"
+                try:
+                    zero_one_like = (
+                        value == int(value) and int(value) in (0, 1)
+                    )
+                except (TypeError, ValueError, OverflowError):
+                    zero_one_like = False
+                if zero_one_like:
+                    yield self.emit(
+                        path,
+                        f"guard returns {type(value).__name__} "
+                        f"({value!r}), coerced to bool at runtime",
+                        "end the guard with a comparison or bool(...)",
+                    )
+                else:
+                    yield self.emit(
+                        path,
+                        f"guard returns non-boolean {type(value).__name__} "
+                        f"({value!r}); the runtime will reject it",
+                        "return a bool from the guard predicate",
+                    )

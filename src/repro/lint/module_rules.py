@@ -1,0 +1,201 @@
+"""Structural rules over the elaborated module hierarchy (MOD0xx).
+
+These run on a *built* design — after construction, before (or instead
+of) elaboration — so structural mistakes surface as diagnostics with
+hierarchical paths rather than as mid-elaboration exceptions or, worse,
+silently wrong simulations.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..kernel.process import Process
+from .context import DesignContext, ProcessInfo
+from .diagnostics import Diagnostic, Severity
+from .engine import DESIGN, LintRule, register
+
+
+@register
+class UnboundPortRule(LintRule):
+    """A declared port was never bound to a signal."""
+
+    rule_id = "MOD001"
+    name = "unbound-port"
+    target = DESIGN
+    default_severity = Severity.ERROR
+    description = "every port must be bound to a signal before elaboration"
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        for module in design.modules:
+            for port in module.ports:
+                if not port.bound:
+                    yield self.emit(
+                        port.path,
+                        f"{port.direction} port was never bound",
+                        "bind the port to a signal (port.bind(signal)) "
+                        "during hierarchy construction",
+                    )
+
+
+@register
+class MultipleWriterRule(LintRule):
+    """Two different processes statically write a single-writer signal."""
+
+    rule_id = "MOD002"
+    name = "multiple-writers"
+    target = DESIGN
+    default_severity = Severity.ERROR
+    description = (
+        "a single-writer signal must be driven by exactly one process"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        writers = design.signal_writers()
+        for signal in design.signals:
+            if not getattr(signal, "_single_writer", False):
+                continue
+            writing = writers.get(id(signal), [])
+            if len(writing) > 1:
+                names = ", ".join(sorted(w.process.name for w in writing))
+                yield self.emit(
+                    signal.name,
+                    f"single-writer signal is written by {len(writing)} "
+                    f"processes: {names}",
+                    "drive the signal from one process, or mux the sources "
+                    "explicitly",
+                )
+
+
+@register
+class DeadEventWaitRule(LintRule):
+    """A process waits on a module event that nothing ever notifies."""
+
+    rule_id = "MOD003"
+    name = "dead-event-wait"
+    target = DESIGN
+    default_severity = Severity.WARNING
+    description = (
+        "waiting on an event with no notifier suspends the process forever"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        waited: dict[int, list[ProcessInfo]] = {}
+        notified: set[int] = set()
+        escaped: set[int] = set()
+        for info in design.processes:
+            if not info.analyzable:
+                continue
+            for event_id in info.event_waits:
+                waited.setdefault(event_id, []).append(info)
+            notified |= info.event_notifies
+            escaped |= info.event_escapes
+        for module, attr_name, event in design.module_events():
+            event_id = id(event)
+            if event_id not in waited:
+                continue
+            if event_id in notified or event_id in escaped:
+                continue
+            waiters = ", ".join(
+                sorted(w.process.name for w in waited[event_id])
+            )
+            yield self.emit(
+                event.name or f"{module.path}.{attr_name}",
+                f"event is waited on (by {waiters}) but never notified",
+                "notify the event from some process, or remove the wait",
+            )
+
+
+@register
+class CombinationalLoopRule(LintRule):
+    """Zero-delay method processes form a feedback loop through signals."""
+
+    rule_id = "MOD004"
+    name = "combinational-loop"
+    target = DESIGN
+    default_severity = Severity.ERROR
+    description = (
+        "method processes whose writes re-trigger their own sensitivity "
+        "loop forever within one time step"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        # Map each signal's change/edge events back to the signal so a
+        # method's sensitivity list can be expressed in signal identities.
+        event_to_signal: dict[int, object] = {}
+        for signal in design.signals:
+            for attr in ("_changed", "_posedge", "_negedge"):
+                event = getattr(signal, attr, None)
+                if event is not None:
+                    event_to_signal[id(event)] = signal
+
+        methods = [
+            info for info in design.processes
+            if info.analyzable and info.process.kind == Process.METHOD
+        ]
+        reads: dict[int, set[int]] = {}    # id(info) -> sensitivity signal ids
+        writes: dict[int, set[int]] = {}
+        for info in methods:
+            sensitivity: set[int] = set()
+            for event in info.process._static_sensitivity:
+                signal = event_to_signal.get(id(event))
+                if signal is not None:
+                    sensitivity.add(id(signal))
+            reads[id(info)] = sensitivity
+            writes[id(info)] = set(info.signal_writes)
+
+        # Edge P -> Q when P writes a signal Q is sensitive to.
+        edges: dict[int, set[int]] = {id(info): set() for info in methods}
+        by_id = {id(info): info for info in methods}
+        for producer in methods:
+            for consumer in methods:
+                if writes[id(producer)] & reads[id(consumer)]:
+                    edges[id(producer)].add(id(consumer))
+
+        for cycle in _find_cycles(edges):
+            names = [by_id[node].process.name for node in cycle]
+            anchor = min(names)
+            yield self.emit(
+                anchor,
+                "combinational loop through zero-delay method processes: "
+                + " -> ".join(sorted(names)),
+                "break the loop with a registered (clocked) stage or "
+                "convert one process to a thread with an explicit wait",
+            )
+
+
+def _find_cycles(edges: dict[int, set[int]]) -> list[tuple[int, ...]]:
+    """Strongly connected components with >1 node, plus self-loops."""
+    index_counter = [0]
+    stack: list[int] = []
+    lowlink: dict[int, int] = {}
+    index: dict[int, int] = {}
+    on_stack: set[int] = set()
+    cycles: list[tuple[int, ...]] = []
+
+    def strongconnect(node: int) -> None:
+        index[node] = lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for successor in edges.get(node, ()):
+            if successor not in index:
+                strongconnect(successor)
+                lowlink[node] = min(lowlink[node], lowlink[successor])
+            elif successor in on_stack:
+                lowlink[node] = min(lowlink[node], index[successor])
+        if lowlink[node] == index[node]:
+            component: list[int] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1 or node in edges.get(node, ()):
+                cycles.append(tuple(component))
+
+    for node in list(edges):
+        if node not in index:
+            strongconnect(node)
+    return cycles

@@ -1,0 +1,67 @@
+"""High-level lint entry points.
+
+These are what the flow, the synthesis tool and the CLI call:
+
+* :func:`lint_design` — run the module- and guard-level rules over a
+  built :class:`~repro.kernel.simulator.Simulator`;
+* :func:`lint_rtl_module` — run the IR rules over one
+  :class:`~repro.synthesis.ir.RtlModule`;
+* :func:`lint_synthesis` — run the IR rules over every netlist of a
+  :class:`~repro.synthesis.tool.SynthesisResult`.
+
+Importing this module pulls in the rule modules, which register into the
+default registry as a side effect.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..kernel.simulator import Simulator
+from .context import DesignContext
+from .diagnostics import LintReport
+from .engine import DESIGN, IR, LintConfig, LintEngine, RuleRegistry
+from . import guard_rules as _guard_rules    # noqa: F401  (rule registration)
+from . import ir_rules as _ir_rules          # noqa: F401
+from . import module_rules as _module_rules  # noqa: F401
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..synthesis.ir import RtlModule
+    from ..synthesis.tool import SynthesisResult
+
+
+def lint_design(
+    sim: Simulator,
+    config: LintConfig | None = None,
+    registry: RuleRegistry | None = None,
+    label: str = "design",
+) -> LintReport:
+    """Run every design-level rule over a built simulator."""
+    engine = LintEngine(config, registry)
+    return engine.run(DesignContext(sim), DESIGN, label)
+
+
+def lint_rtl_module(
+    module: "RtlModule",
+    config: LintConfig | None = None,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Run every IR-level rule over one synthesized netlist."""
+    engine = LintEngine(config, registry)
+    return engine.run(module, IR, module.name)
+
+
+def lint_synthesis(
+    result: "SynthesisResult",
+    config: LintConfig | None = None,
+    registry: RuleRegistry | None = None,
+    label: str = "synthesis",
+) -> LintReport:
+    """Run the IR rules over every netlist a synthesis run produced."""
+    engine = LintEngine(config, registry)
+    report = LintReport(label)
+    for group in result.groups:
+        modules = [group.channel_ir, group.object_ir, *group.dispatch_irs]
+        for module in modules:
+            report.extend(engine.run(module, IR, module.name))
+    return report

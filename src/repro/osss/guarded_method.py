@@ -48,15 +48,30 @@ class GuardedMethodDescriptor:
         return self.func.__get__(instance, owner)
 
     def guard_true(self, state: object) -> bool:
-        """Evaluate the guard against *state* (unguarded methods are open)."""
+        """Evaluate the guard against *state* (unguarded methods are open).
+
+        Guards should return ``bool``, but 0/1-like results (``0``,
+        ``1``, numpy-ish scalars, single-bit ints) are coerced — the
+        SystemC+ macro takes any expression convertible to ``bool``.
+        Anything that is not clearly a truth value still raises: a guard
+        returning, say, a list or a signal object is a bug, and
+        ``bool()`` on it would silently hide that. The lint rule GRD004
+        flags coercible guards statically instead of at runtime.
+        """
         if self.guard is None:
             return True
         result = self.guard(state)
-        if not isinstance(result, bool):
-            raise SimulationError(
-                f"guard of {self.__name__!r} returned {result!r}, expected bool"
-            )
-        return result
+        if isinstance(result, bool):
+            return result
+        try:
+            as_int = int(result)
+        except (TypeError, ValueError):
+            as_int = None
+        if as_int is not None and as_int in (0, 1) and result == as_int:
+            return bool(as_int)
+        raise SimulationError(
+            f"guard of {self.__name__!r} returned {result!r}, expected bool"
+        )
 
     def invoke(self, state: object, *args: object, **kwargs: object) -> object:
         return self.func(state, *args, **kwargs)

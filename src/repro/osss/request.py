@@ -9,7 +9,6 @@ the synthesis tool lowers to a request/grant signal pair.
 from __future__ import annotations
 
 import itertools
-import typing
 
 from ..kernel.event import Event
 

@@ -8,7 +8,6 @@ Runs as a generator on a :class:`~repro.pci.master.PciMaster`.
 
 from __future__ import annotations
 
-import typing
 
 from ..errors import ProtocolError
 from .config_space import CMD_MEMORY_ENABLE, REG_BAR0, REG_COMMAND_STATUS, REG_ID

@@ -12,7 +12,6 @@ master abort (DEVSEL# timeout).
 
 from __future__ import annotations
 
-import typing
 from collections import deque
 
 from ..errors import ProtocolError

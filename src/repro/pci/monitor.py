@@ -9,7 +9,6 @@ it produces the observable trace that consistency checking compares.
 
 from __future__ import annotations
 
-import typing
 
 from ..errors import ProtocolError
 from ..hdl.module import Module

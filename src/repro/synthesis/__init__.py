@@ -74,6 +74,7 @@ __all__ = [
     "RtlRoundRobinPolicy",
     "RtlStaticPriorityPolicy",
     "SynthesisConfig",
+    "SynthesisReport",
     "SynthesisResult",
     "SynthesizedGroup",
     "UnOp",

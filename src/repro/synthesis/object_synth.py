@@ -82,10 +82,16 @@ def build_object_ir(
     exec_method = module.add_port("exec_method", "in", method_bits,
                                   "from channel: which body")
 
-    # Estimated state registers.
+    # Estimated state registers. The bodies stay behavioural, so the
+    # update logic is modelled as a self-hold gated by the execute
+    # strobe (the real datapath would replace the hold expression).
     for attr, bits in sorted(estimate_state_bits(state).items()):
-        module.add_register(f"state_{attr}", bits, 0,
-                            f"object attribute {attr!r} (estimated width)")
+        register = module.add_register(
+            f"state_{attr}", bits, 0,
+            f"object attribute {attr!r} (estimated width)")
+        module.add_clocked_assign(
+            register, register.ref(), enable=exec_go.ref(),
+            comment="updated behaviourally by the method bodies")
 
     # One guard output per method: combinational over the state registers.
     for index, method_name in enumerate(method_order):

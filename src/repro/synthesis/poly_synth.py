@@ -88,8 +88,14 @@ def synthesize_dispatch(var: PolymorphicVar, module_name: str | None = None
             union_bits = max(union_bits, 32)
             continue
         union_bits = max(union_bits, sum(estimate_state_bits(instance).values()) or 1)
-    module.add_register("union_state", max(1, union_bits), 0,
-                        "shared storage of the tagged union")
+    union_state = module.add_register(
+        "union_state", max(1, union_bits), 0,
+        "shared storage of the tagged union")
+    # The variants' bodies stay behavioural; structurally the union is a
+    # self-hold gated by the call strobe (real datapath goes here).
+    module.add_clocked_assign(
+        union_state, union_state.ref(), enable=call_go.ref(),
+        comment="updated behaviourally by the variant bodies")
 
     # One strobe per (variant, method): the dispatch multiplexer.
     for v_index, variant in enumerate(var.variants):

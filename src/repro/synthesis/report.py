@@ -8,7 +8,6 @@ prototype printed after a run.
 
 from __future__ import annotations
 
-import typing
 
 from .ir import RtlModule
 from .poly_synth import DispatchInfo

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import typing
 
-from ..errors import SimulationError, SynthesisError
+from ..errors import SynthesisError
 from ..hdl.module import Module
 from ..hdl.signal import Signal
 from ..kernel.event import Event

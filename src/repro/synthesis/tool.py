@@ -36,6 +36,8 @@ class SynthesisConfig:
     :param data_width: width of the opaque data buses in the netlists.
     :param emit_hdl: generate Verilog/VHDL text (skip to save time in
         large parameter sweeps).
+    :param lint_ir: run the IR design rules over every generated netlist
+        before HDL emission; error-severity findings abort synthesis.
     """
 
     def __init__(
@@ -43,6 +45,7 @@ class SynthesisConfig:
         body_cycles: int = 1,
         data_width: int = 32,
         emit_hdl: bool = True,
+        lint_ir: bool = True,
     ) -> None:
         if body_cycles < 1:
             raise SynthesisError("body_cycles must be >= 1")
@@ -51,6 +54,7 @@ class SynthesisConfig:
         self.body_cycles = body_cycles
         self.data_width = data_width
         self.emit_hdl = emit_hdl
+        self.lint_ir = lint_ir
 
 
 class SynthesizedGroup:
@@ -102,6 +106,20 @@ class SynthesisResult:
 
     def all_vhdl(self) -> str:
         return "\n\n".join(g.vhdl for g in self.groups if g.vhdl)
+
+
+def _lint_group_netlists(group_name: str, modules: list) -> None:
+    """IR sanity pass over one group's netlists; errors abort synthesis."""
+    # Imported lazily: the lint package imports synthesis.ir.
+    from ..lint.runner import lint_rtl_module
+
+    for module in modules:
+        report = lint_rtl_module(module)
+        if report.has_errors:
+            raise SynthesisError(
+                f"group {group_name!r}: netlist {module.name!r} failed the "
+                "IR design rules:\n" + report.render()
+            )
 
 
 def discover_groups(sim: Simulator) -> list[list[GlobalObject]]:
@@ -205,6 +223,8 @@ def synthesize_communication(
                 "state_bits": sum(estimate_state_bits(space.state).values()),
             }
         )
+        if config.lint_ir:
+            _lint_group_netlists(group_name, [channel_ir, object_ir, *dispatch_irs])
         verilog = vhdl = ""
         if config.emit_hdl:
             verilog_parts = [emit_verilog(channel_ir), emit_verilog(object_ir)]

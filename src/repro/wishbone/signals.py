@@ -14,7 +14,6 @@ ERR. Keeping CYC asserted across consecutive STBs forms a burst.
 from __future__ import annotations
 
 from ..hdl.module import Module
-from ..hdl.signal import Signal
 from ..kernel.simulator import Simulator
 
 #: Width of the address and data paths.

@@ -23,7 +23,9 @@ class TestFullFlow:
         flow = DesignFlow({"name": "demo"}, *standard_flow_builders(WORKLOADS))
         report = flow.run(20 * MS)
         assert report.succeeded
-        assert len(report.stages) == 6
+        assert len(report.stages) == 7
+        assert report.lint_report is not None
+        assert not report.lint_report.has_errors
         assert report.refinement_check.consistent
         assert report.synthesis_check.consistent
         assert report.synthesis_result is not None
@@ -34,6 +36,7 @@ class TestFullFlow:
         report = flow.run(20 * MS)
         text = report.summary()
         assert "communication synthesis" in text
+        assert "static design-rule lint" in text
         assert "[  ok]" in text
 
     def test_missing_name_fails_first_stage(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import generate_workload
 from repro.flow import PciPlatformConfig, build_pci_platform
-from repro.kernel import MS, NS
+from repro.kernel import MS
 from repro.osss import RoundRobinArbiter, StaticPriorityArbiter
 
 

@@ -100,8 +100,6 @@ class TestChannelInvariants:
         violations = []
 
         def probe():
-            from repro.kernel import Timeout
-
             while True:
                 yield bundle.clock.clk.posedge
                 for index in range(len(channel.clients)):

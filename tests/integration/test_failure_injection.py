@@ -5,7 +5,7 @@ import pytest
 from repro.core import CommandType
 from repro.errors import ProtocolError
 from repro.flow import PciPlatformConfig, build_pci_platform
-from repro.hdl import Clock, LogicVector, Module
+from repro.hdl import Clock, Module
 from repro.kernel import MS, NS, Simulator
 from repro.pci import (
     PciBus,

@@ -6,7 +6,6 @@ polymorphic variable inside the shared state, reconfigured and invoked
 through guarded methods, behaviourally and post-synthesis.
 """
 
-import pytest
 
 from repro.hdl import Clock, Module
 from repro.kernel import MS, NS, Simulator

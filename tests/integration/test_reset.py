@@ -6,7 +6,7 @@ operations."* The epoch mechanism additionally drops responses of
 operations that were already in flight on the bus when reset hit.
 """
 
-from repro.core import Application, CommandType, FunctionalBusInterface
+from repro.core import CommandType, FunctionalBusInterface
 from repro.flow import build_pci_platform
 from repro.hdl import Module
 from repro.kernel import MS, NS, Simulator, Timeout

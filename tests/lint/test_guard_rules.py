@@ -1,0 +1,105 @@
+"""GRD0xx rules over the OSSS global objects."""
+
+from repro.lint import Severity, lint_design
+
+from . import fixtures
+
+
+def rule_ids(report):
+    return {d.rule_id for d in report.diagnostics}
+
+
+class TestImpureGuard:
+    def test_fires_grd001(self):
+        report = lint_design(fixtures.make_impure_guard())
+        assert "GRD001" in rule_ids(report)
+        diag = report.by_rule("GRD001")[0]
+        assert diag.severity is Severity.WARNING
+        assert "top.cell.take" == diag.path
+        assert "append" in diag.message
+
+
+class TestDeadGuard:
+    def test_fires_grd002(self):
+        report = lint_design(fixtures.make_dead_guard())
+        assert rule_ids(report) == {"GRD002"}
+        (diag,) = report.by_rule("GRD002")
+        assert diag.severity is Severity.ERROR
+        assert diag.path == "top.cell.proceed"
+        assert "ready" in diag.message
+        assert "deadlock" in diag.message
+
+    def test_written_guard_attr_is_clean(self):
+        """Same shape, but a method writes the guarded attribute."""
+        from repro.hdl.module import Module
+        from repro.kernel.simulator import Simulator
+        from repro.osss.global_object import GlobalObject
+        from repro.osss.guarded_method import guarded_method
+
+        class LiveGuardCell:
+            def __init__(self):
+                self.ready = False
+
+            @guarded_method(lambda self: self.ready)
+            def proceed(self):
+                return 1
+
+            def arm(self):
+                self.ready = True
+
+        sim = Simulator()
+
+        class Host(Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.cell = GlobalObject(self, "cell", LiveGuardCell)
+
+        Host(sim, "top")
+        assert lint_design(sim).clean
+
+
+class TestGuardWaitCycle:
+    def test_fires_grd003(self):
+        report = lint_design(fixtures.make_guard_wait_cycle())
+        assert rule_ids(report) == {"GRD003"}
+        diag = report.by_rule("GRD003")[0]
+        assert diag.severity is Severity.WARNING
+        assert "deadlock cycle" in diag.message
+        assert "worker_a" in diag.message and "worker_b" in diag.message
+
+    def test_put_before_take_is_clean(self):
+        """Reordering one worker breaks the cycle — rule stays quiet."""
+        from repro.hdl.module import Module
+        from repro.kernel.simulator import Simulator
+        from repro.osss.global_object import GlobalObject
+
+        sim = Simulator()
+
+        class Host(Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.left = GlobalObject(self, "left", fixtures.HandoffCell)
+                self.right = GlobalObject(self, "right", fixtures.HandoffCell)
+                self.thread(self._worker_a, "worker_a")
+                self.thread(self._worker_b, "worker_b")
+
+            def _worker_a(self):
+                yield from self.left.call("take")
+                yield from self.right.call("put")
+
+            def _worker_b(self):
+                yield from self.left.call("put")
+                yield from self.right.call("take")
+
+        Host(sim, "top")
+        assert lint_design(sim).clean
+
+
+class TestNonBoolGuard:
+    def test_fires_grd004(self):
+        report = lint_design(fixtures.make_non_bool_guard())
+        assert rule_ids(report) == {"GRD004"}
+        (diag,) = report.by_rule("GRD004")
+        assert diag.severity is Severity.WARNING
+        assert diag.path == "top.cell.consume"
+        assert "int" in diag.message

@@ -1,0 +1,132 @@
+"""MOD0xx rules: one deliberately-broken fixture per rule."""
+
+from repro.lint import Severity, lint_design
+
+from . import fixtures
+
+
+def rule_ids(report):
+    return {d.rule_id for d in report.diagnostics}
+
+
+class TestUnboundPort:
+    def test_fires_mod001(self):
+        report = lint_design(fixtures.make_unbound_port())
+        assert rule_ids(report) == {"MOD001"}
+        (diag,) = report.by_rule("MOD001")
+        assert diag.severity is Severity.ERROR
+        assert diag.path == "top.din"
+        assert "never bound" in diag.message
+        assert diag.hint
+
+    def test_bound_port_is_clean(self):
+        import repro.hdl.module as module_mod
+        from repro.kernel.simulator import Simulator
+
+        sim = Simulator()
+
+        class Sink(module_mod.Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.din = self.in_port("din", width=8)
+                self.wire = self.signal("wire", width=8, init=0)
+                self.din.bind(self.wire)
+
+        Sink(sim, "top")
+        assert lint_design(sim).clean
+
+
+class TestMultipleWriters:
+    def test_fires_mod002(self):
+        report = lint_design(fixtures.make_double_writer())
+        assert rule_ids(report) == {"MOD002"}
+        (diag,) = report.by_rule("MOD002")
+        assert diag.severity is Severity.ERROR
+        assert "driver_a" in diag.message and "driver_b" in diag.message
+
+    def test_multi_writer_signal_not_flagged(self):
+        """Without single_writer the rule must stay quiet."""
+        from repro.hdl.module import Module
+        from repro.kernel.process import Timeout
+        from repro.kernel.simulator import Simulator
+
+        sim = Simulator()
+
+        class SharedOk(Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.strobe = self.signal("strobe", width=1, init=0)
+                self.thread(self._a, "a")
+                self.thread(self._b, "b")
+
+            def _a(self):
+                self.strobe.write(1)
+                yield Timeout(10)
+
+            def _b(self):
+                self.strobe.write(0)
+                yield Timeout(10)
+
+        SharedOk(sim, "top")
+        assert lint_design(sim).clean
+
+
+class TestDeadEventWait:
+    def test_fires_mod003(self):
+        report = lint_design(fixtures.make_dead_event_wait())
+        assert rule_ids(report) == {"MOD003"}
+        (diag,) = report.by_rule("MOD003")
+        assert diag.severity is Severity.WARNING
+        assert "wait_forever" in diag.message
+
+    def test_notified_event_is_clean(self):
+        from repro.hdl.module import Module
+        from repro.kernel.process import Timeout
+        from repro.kernel.simulator import Simulator
+
+        sim = Simulator()
+
+        class PingPong(Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.go = self.event("go")
+                self.thread(self._waiter, "waiter")
+                self.thread(self._notifier, "notifier")
+
+            def _waiter(self):
+                yield self.go
+
+            def _notifier(self):
+                yield Timeout(5)
+                self.go.notify()
+
+        PingPong(sim, "top")
+        assert lint_design(sim).clean
+
+
+class TestCombinationalLoop:
+    def test_fires_mod004(self):
+        report = lint_design(fixtures.make_combinational_loop())
+        assert rule_ids(report) == {"MOD004"}
+        (diag,) = report.by_rule("MOD004")
+        assert diag.severity is Severity.ERROR
+        assert "invert" in diag.message and "follow" in diag.message
+
+    def test_acyclic_methods_are_clean(self):
+        from repro.hdl.module import Module
+        from repro.kernel.simulator import Simulator
+
+        sim = Simulator()
+
+        class Pipeline(Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.a = self.signal("a", width=1, init=0)
+                self.b = self.signal("b", width=1, init=0)
+                self.method(self._stage, sensitivity=[self.a], name="stage")
+
+            def _stage(self):
+                self.b.write(self.a.read())
+
+        Pipeline(sim, "top")
+        assert lint_design(sim).clean

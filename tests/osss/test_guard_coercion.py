@@ -1,0 +1,55 @@
+"""guard_true coercion: 0/1-like guard results are accepted, anything
+that is not clearly a truth value still raises."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.osss.guarded_method import guarded_method
+
+
+class Cell:
+    def __init__(self, guard_value):
+        self.guard_value = guard_value
+
+    @guarded_method(lambda self: self.guard_value)
+    def act(self):
+        return "ran"
+
+    @guarded_method()
+    def always(self):
+        return "open"
+
+
+def guard_of(value):
+    return type(Cell(value)).__dict__["act"].guard_true(Cell(value))
+
+
+class TestPassThrough:
+    def test_true_false_untouched(self):
+        assert guard_of(True) is True
+        assert guard_of(False) is False
+
+    def test_unguarded_method_is_open(self):
+        descriptor = Cell.__dict__["always"]
+        assert descriptor.guard_true(Cell(None)) is True
+
+
+class TestCoercion:
+    @pytest.mark.parametrize("value,expected", [
+        (1, True),
+        (0, False),
+        (1.0, True),
+        (0.0, False),
+    ])
+    def test_zero_one_like_coerced(self, value, expected):
+        assert guard_of(value) is expected
+
+    def test_result_is_a_real_bool(self):
+        assert isinstance(guard_of(1), bool)
+
+
+class TestRejection:
+    @pytest.mark.parametrize("value", [2, -1, 0.5, "yes", "", [], [1], None])
+    def test_non_truth_values_raise(self, value):
+        with pytest.raises(SimulationError, match="expected bool"):
+            guard_of(value)
