@@ -1,0 +1,83 @@
+"""FLT-RUN — fault-campaign throughput, serial vs parallel.
+
+A campaign is embarrassingly parallel: every run rebuilds its platform
+from scratch and shares nothing but the (read-only) spec and golden
+reference. This bench measures how many faulty runs per second the
+campaign engine sustains with the in-process serial loop and with the
+``ProcessPoolExecutor`` runner, and checks the two produce identical
+classifications.
+
+On a single-core container the pool cannot win wall-clock — process
+setup and result pickling are pure overhead — so the speedup assertion
+only applies when more than one CPU is available; on one CPU we only
+require the pool not to collapse (>= 0.3x serial throughput).
+"""
+
+import os
+
+from _tables import print_table
+
+from repro.fault import (
+    classify_counts,
+    demo_campaign_spec,
+    run_campaign,
+)
+
+RUNS = 24
+SEED = 7
+
+
+def _campaign(workers):
+    spec = demo_campaign_spec("pci", seed=SEED, runs=RUNS)
+    return run_campaign(spec, workers=workers, max_runs=RUNS)
+
+
+def _fingerprint(result):
+    """Everything about the outcomes except wall-clock timing."""
+    return [
+        (o.run_id, o.kind, o.target_path, o.window, o.classification, o.detail)
+        for o in result.outcomes
+    ]
+
+
+def test_flt_run_throughput(benchmark):
+    parallel_workers = 2
+    serial = _campaign(workers=1)
+    parallel = benchmark.pedantic(
+        _campaign, args=(parallel_workers,), rounds=1, iterations=1
+    )
+
+    assert len(serial.outcomes) == RUNS
+    assert _fingerprint(serial) == _fingerprint(parallel)
+
+    rows = []
+    for label, result in (("serial", serial), ("parallel", parallel)):
+        counts = classify_counts(result.outcomes)
+        rows.append([
+            label,
+            result.workers,
+            len(result.outcomes),
+            f"{result.wall_seconds:.2f}s",
+            f"{result.runs_per_second:.1f}",
+            counts["detected"],
+            counts["silent"],
+            counts["benign"],
+        ])
+    print_table(
+        f"FLT-RUN: campaign throughput ({RUNS} runs, "
+        f"{os.cpu_count()} cpu(s))",
+        ["mode", "workers", "runs", "wall", "runs/s",
+         "detected", "silent", "benign"],
+        rows,
+    )
+
+    ratio = parallel.runs_per_second / serial.runs_per_second
+    if (os.cpu_count() or 1) > 1:
+        assert ratio > 1.0, (
+            f"parallel runner slower than serial on a multi-core host "
+            f"({ratio:.2f}x)"
+        )
+    else:
+        assert ratio > 0.3, (
+            f"parallel runner collapsed on a single core ({ratio:.2f}x)"
+        )

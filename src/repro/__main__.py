@@ -11,6 +11,11 @@ Commands:
   report (add ``--verilog`` / ``--vhdl`` to print the generated HDL).
 * ``lint``        — static design-rule checks over the example platforms
   (``--strict``, ``--suppress RULE[@GLOB]``, ``--list-rules``).
+* ``fault``       — run a fault-injection campaign and print detection
+  coverage (``--platform``, ``--runs``, ``--workers``, ``--json``).
+
+Every command honours the global ``--seed``: repeated invocations with
+the same seed are bit-identical.
 """
 
 from __future__ import annotations
@@ -30,6 +35,14 @@ from .kernel import MS, NS
 from .trace import VcdTracer, WaveformCapture, render
 
 
+#: Seed used when the user does not pass ``--seed``.
+DEFAULT_SEED = 11
+
+
+def _effective_seed(args: argparse.Namespace) -> int:
+    return args.seed if args.seed is not None else DEFAULT_SEED
+
+
 def _default_workloads(seed: int, n_commands: int):
     return [generate_workload(seed=seed, n_commands=n_commands,
                               address_span=0x400, max_burst=4)]
@@ -38,7 +51,9 @@ def _default_workloads(seed: int, n_commands: int):
 def _cmd_flow(args: argparse.Namespace) -> int:
     flow = DesignFlow(
         {"name": "pci-device-under-design", "bus": "pci"},
-        *standard_flow_builders(_default_workloads(args.seed, args.commands)),
+        *standard_flow_builders(
+            _default_workloads(_effective_seed(args), args.commands)
+        ),
     )
     report = flow.run(200 * MS)
     print(report.summary())
@@ -46,7 +61,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
 
 def _cmd_refine(args: argparse.Namespace) -> int:
-    workloads = _default_workloads(args.seed, args.commands)
+    workloads = _default_workloads(_effective_seed(args), args.commands)
     report = compare_refinement(
         lambda: build_functional_platform(workloads).handle,
         lambda: build_pci_platform(workloads).handle,
@@ -59,10 +74,17 @@ def _cmd_refine(args: argparse.Namespace) -> int:
 def _cmd_waveforms(args: argparse.Namespace) -> int:
     from .core import CommandType
 
-    commands = [
-        CommandType.write(0x100, [0xDEADBEEF, 0x12345678, 0xCAFEF00D]),
-        CommandType.read(0x100, count=3),
-    ]
+    if args.seed is not None:
+        # Seeded mode: dump waveforms of a reproducible random workload
+        # instead of the fixed Figure-4 command pair.
+        commands = generate_workload(
+            seed=args.seed, n_commands=4, address_span=0x400, max_burst=3
+        )
+    else:
+        commands = [
+            CommandType.write(0x100, [0xDEADBEEF, 0x12345678, 0xCAFEF00D]),
+            CommandType.read(0x100, count=3),
+        ]
     bundle = build_pci_platform(
         [commands], PciPlatformConfig(wait_states=1), synthesize=True
     )
@@ -94,12 +116,22 @@ def _cmd_library(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import cli as lint_cli
 
+    # The global --seed (default None) shadows the subcommand default
+    # in the shared namespace; resolve it before delegating.
+    args.seed = _effective_seed(args)
     return lint_cli.run(args)
+
+
+def _cmd_fault(args: argparse.Namespace) -> int:
+    from .fault import cli as fault_cli
+
+    return fault_cli.run(args)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     bundle = build_pci_platform(
-        _default_workloads(args.seed, args.commands), synthesize=True
+        _default_workloads(_effective_seed(args), args.commands),
+        synthesize=True,
     )
     synthesis = bundle.synthesis
     print(synthesis.report.render())
@@ -117,8 +149,9 @@ def main(argv: "list[str] | None" = None) -> int:
         prog="python -m repro",
         description="High Level Communication Synthesis reproduction demos",
     )
-    parser.add_argument("--seed", type=int, default=11,
-                        help="workload seed (default 11)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help=f"workload seed (default {DEFAULT_SEED}); "
+                             "identical seeds reproduce identical runs")
     parser.add_argument("--commands", type=int, default=20,
                         help="commands per application (default 20)")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -137,6 +170,10 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="also print generated Verilog")
     report.add_argument("--vhdl", action="store_true",
                         help="also print generated VHDL")
+    fault = sub.add_parser("fault", help="run a fault-injection campaign")
+    from .fault import cli as fault_cli
+
+    fault_cli.add_arguments(fault)
     args = parser.parse_args(argv)
     handlers = {
         "flow": _cmd_flow,
@@ -145,6 +182,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "library": _cmd_library,
         "lint": _cmd_lint,
         "report": _cmd_report,
+        "fault": _cmd_fault,
     }
     return handlers[args.command](args)
 

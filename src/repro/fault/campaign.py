@@ -1,0 +1,248 @@
+"""Campaign execution: golden reference, run classification.
+
+The engine builds the campaign's platform once *without* faults to
+record the golden behaviour (application traces + final memory image +
+end time), expands the spec against the platform's real hierarchy, and
+then classifies each faulty run:
+
+* ``detected`` — a verify checker, scoreboard or bus monitor fired
+  (recorded through :meth:`~repro.kernel.simulator.Simulator
+  .report_detection`), a :class:`~repro.errors.ReproError` was raised,
+  or the run deadlocked and the watchdog reported blocked processes;
+* ``silent`` — the run completed with no detection but its observable
+  behaviour (traces or memory image) diverges from golden: undetected
+  corruption, the number a campaign exists to measure;
+* ``benign`` — the fault had no observable effect;
+* ``timeout`` / ``error`` — infrastructure outcomes (wall-clock kill,
+  non-library exception), kept out of the coverage ratio.
+"""
+
+from __future__ import annotations
+
+import time as _time
+import typing
+
+from ..errors import RefinementError, ReproError
+from ..flow.platforms import (
+    PciPlatformConfig,
+    PlatformBundle,
+    build_functional_platform,
+    build_pci_platform,
+    build_wishbone_platform,
+)
+from ..hdl.resolved import ResolvedSignal
+from ..hdl.signal import Signal
+from ..core.workload import generate_workload
+from ..osss.global_object import GlobalObject
+from .models import make_fault
+from .spec import CampaignSpec, RunSpec, expand_campaign
+
+#: Run classifications.
+DETECTED = "detected"
+SILENT = "silent"
+BENIGN = "benign"
+TIMEOUT = "timeout"
+ERROR = "error"
+
+CLASSIFICATIONS = (DETECTED, SILENT, BENIGN, TIMEOUT, ERROR)
+
+_BUILDERS = {
+    "pci": build_pci_platform,
+    "wishbone": build_wishbone_platform,
+    "functional": build_functional_platform,
+}
+
+
+class GoldenReference:
+    """What the platform does when nothing is broken (picklable)."""
+
+    def __init__(
+        self,
+        traces: dict,
+        image: list,
+        horizon: int,
+    ) -> None:
+        self.traces = traces
+        self.image = image
+        self.horizon = horizon
+
+    def __repr__(self) -> str:
+        transactions = sum(len(t) for t in self.traces.values())
+        return f"GoldenReference({transactions} txns, horizon={self.horizon})"
+
+
+class RunOutcome:
+    """The classified result of one campaign run (picklable)."""
+
+    def __init__(
+        self,
+        run_id: int,
+        kind: str,
+        target_path: str,
+        window: "tuple[int, int] | None",
+        classification: str,
+        detail: str = "",
+        activations: int = 0,
+        detections: int = 0,
+        wall_seconds: float = 0.0,
+        sim_time: int = 0,
+    ) -> None:
+        self.run_id = run_id
+        self.kind = kind
+        self.target_path = target_path
+        self.window = window
+        self.classification = classification
+        self.detail = detail
+        self.activations = activations
+        self.detections = detections
+        self.wall_seconds = wall_seconds
+        self.sim_time = sim_time
+
+    def __repr__(self) -> str:
+        return (
+            f"RunOutcome(run{self.run_id:03d} {self.kind}@{self.target_path}"
+            f" -> {self.classification})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "target": self.target_path,
+            "window": list(self.window) if self.window else None,
+            "classification": self.classification,
+            "detail": self.detail,
+            "activations": self.activations,
+            "detections": self.detections,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "sim_time": self.sim_time,
+        }
+
+
+def build_campaign_platform(spec: CampaignSpec) -> PlatformBundle:
+    """A fresh platform instance for one run of *spec*."""
+    workloads = [
+        generate_workload(
+            seed,
+            spec.commands_per_app,
+            address_span=spec.address_span,
+            write_fraction=spec.write_fraction,
+        )
+        for seed in spec.workload_seeds()
+    ]
+    config = PciPlatformConfig(
+        monitor_strict=False, app_think_time=spec.think_time
+    )
+    return _BUILDERS[spec.platform](workloads, config)
+
+
+def injectable_targets(bundle: PlatformBundle) -> tuple[list, list]:
+    """``(signal_paths, channel_paths)`` of everything a fault can hit."""
+    signals: list = []
+    channels: list = []
+    sim = bundle.handle.sim
+    for path, obj in sim.iter_named():
+        if isinstance(obj, (Signal, ResolvedSignal)):
+            signals.append(path)
+        elif isinstance(obj, GlobalObject):
+            channels.append(path)
+    return signals, channels
+
+
+def run_golden(spec: CampaignSpec) -> GoldenReference:
+    """Build and run the platform fault-free; record the reference."""
+    bundle = build_campaign_platform(spec)
+    result = bundle.run(spec.max_time)
+    image = bundle.memory.dump(0, spec.address_span // 4)
+    return GoldenReference(result.traces, image, bundle.handle.sim.time)
+
+
+def plan_campaign(
+    spec: CampaignSpec,
+) -> tuple[GoldenReference, list[RunSpec]]:
+    """Golden reference + the expanded deterministic run list."""
+    golden = run_golden(spec)
+    probe = build_campaign_platform(spec)
+    signal_paths, channel_paths = injectable_targets(probe)
+    runs = expand_campaign(spec, signal_paths, channel_paths, golden.horizon)
+    return golden, runs
+
+
+def execute_run(
+    spec: CampaignSpec,
+    run: RunSpec,
+    golden: GoldenReference,
+) -> RunOutcome:
+    """Build, infect, run and classify one campaign run."""
+    started = _time.perf_counter()
+    bundle = build_campaign_platform(spec)
+    sim = bundle.handle.sim
+    sim.elaborate()
+    fault = make_fault(run.kind, run.target_path, run.window, **run.params)
+    classification = ERROR
+    detail = ""
+    try:
+        fault.arm(sim)
+        result = bundle.run(spec.max_time)
+    except RefinementError as error:
+        # The deadlock watchdog: applications never finished. Blocked
+        # guarded-method calls say who was starved.
+        blocked = sim.blocked_processes()
+        classification = DETECTED
+        stuck = ", ".join(
+            f"{b.client}->{b.method}" for b in blocked[:3]
+        ) or str(error)
+        detail = f"deadlock watchdog: {stuck}"
+    except ReproError as error:
+        classification = DETECTED
+        detail = f"{type(error).__name__}: {error}"
+    except Exception as error:  # noqa: BLE001 - infrastructure failure
+        classification = ERROR
+        detail = f"{type(error).__name__}: {error}"
+    else:
+        image = bundle.memory.dump(0, spec.address_span // 4)
+        if sim.detections:
+            first = sim.detections[0]
+            classification = DETECTED
+            detail = f"{first.source}: {first.message}"
+        elif result.traces != golden.traces:
+            classification = SILENT
+            detail = "application traces diverge from golden"
+        elif image != golden.image:
+            classification = SILENT
+            detail = "memory image diverges from golden"
+        else:
+            classification = BENIGN
+            detail = (
+                "no observable effect"
+                if fault.activations
+                else "fault never activated"
+            )
+    return RunOutcome(
+        run.run_id,
+        run.kind,
+        run.target_path,
+        run.window,
+        classification,
+        detail,
+        activations=fault.activations,
+        detections=len(sim.detections),
+        wall_seconds=_time.perf_counter() - started,
+        sim_time=sim.time,
+    )
+
+
+def classify_counts(outcomes: typing.Iterable[RunOutcome]) -> dict:
+    counts = {c: 0 for c in CLASSIFICATIONS}
+    for outcome in outcomes:
+        counts[outcome.classification] += 1
+    return counts
+
+
+def detection_coverage(outcomes: typing.Iterable[RunOutcome]) -> float | None:
+    """``detected / (detected + silent)``; ``None`` with no effective faults."""
+    counts = classify_counts(outcomes)
+    effective = counts[DETECTED] + counts[SILENT]
+    if not effective:
+        return None
+    return counts[DETECTED] / effective

@@ -1,0 +1,65 @@
+"""``python -m repro fault`` — run a fault-injection campaign."""
+
+from __future__ import annotations
+
+import argparse
+
+from .report import render_report, report_as_json
+from .runner import default_workers, run_campaign
+from .spec import PLATFORMS, demo_campaign_spec
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--platform", choices=PLATFORMS, default="pci",
+        help="platform to attack (default pci)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=60,
+        help="approximate campaign size (default 60)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: half the cores, capped at 8; "
+             "1 = serial)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-run wall-clock timeout in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full JSON report instead of the table",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="list every run in the table report",
+    )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="also run the campaign lint rules (FLT001) before executing",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    seed = args.seed if args.seed is not None else 11
+    spec = demo_campaign_spec(
+        platform=args.platform, seed=seed, runs=args.runs
+    )
+    spec.wall_timeout = args.timeout
+    if args.lint:
+        from ..lint import lint_campaign
+
+        report = lint_campaign(spec)
+        print(report.render())
+        if report.errors:
+            return 1
+    workers = args.workers if args.workers is not None else default_workers()
+    result = run_campaign(spec, workers=workers, max_runs=args.runs)
+    if args.json:
+        print(report_as_json(result))
+    else:
+        print(render_report(result, verbose=args.verbose))
+    if any(o.classification == "error" for o in result.outcomes):
+        return 1
+    return 0

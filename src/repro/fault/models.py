@@ -1,0 +1,511 @@
+"""Fault models: kernel-level interceptors that perturb a running design.
+
+Each model targets one design object by hierarchical path and corrupts
+its behaviour inside a time window ``[start, end)``. The injection is a
+*kernel-level* interceptor — the signal's update hook or the shared
+state space's submit/descriptor hooks are wrapped on the instance — so
+application and interface models need zero changes to be testable under
+fault.
+
+The models mirror the classic hardware fault taxonomy:
+
+* :class:`StuckAtFault` / :class:`BitFlipFault` /
+  :class:`TransientGlitchFault` — pin-level faults on
+  :class:`~repro.hdl.signal.Signal` and
+  :class:`~repro.hdl.resolved.ResolvedSignal` wires;
+* :class:`DelayedGrantFault` / :class:`DroppedRequestFault` — scheduling
+  faults on OSSS arbiters and guarded methods (the channel stops
+  granting, or silently loses a request);
+* :class:`CommandCorruptionFault` — transaction-layer corruption of the
+  command stream flowing into the PCI / Wishbone interface channel.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ReproError
+from ..hdl.bitvector import LogicVector
+from ..hdl.resolved import ResolvedSignal
+from ..hdl.signal import Signal
+from ..kernel.event import Event
+from ..kernel.simulator import Simulator
+from ..osss.global_object import GlobalObject
+from ..osss.guarded_method import GuardedMethodDescriptor
+
+
+class FaultInjectionError(ReproError):
+    """A fault model could not be built or armed."""
+
+
+#: Target categories a fault kind can attach to.
+SIGNAL_TARGET = "signal"
+CHANNEL_TARGET = "channel"
+
+
+class FaultModel:
+    """Base class: one fault on one target, active in one time window.
+
+    :param target_path: hierarchical name of the design object.
+    :param window: ``(start, end)`` femtoseconds; ``None`` means always
+        active.
+    """
+
+    kind: str = "base"
+    target_kind: str = SIGNAL_TARGET
+
+    def __init__(
+        self,
+        target_path: str,
+        window: "tuple[int, int] | None" = None,
+    ) -> None:
+        if window is not None and window[1] < window[0]:
+            raise FaultInjectionError(
+                f"bad fault window {window!r}: end before start"
+            )
+        self.target_path = target_path
+        self.window = window
+        #: How many times the fault actually perturbed the design.
+        self.activations = 0
+        self._sim: Simulator | None = None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.target_path}, window={self.window})"
+
+    def describe(self) -> str:
+        window = "always" if self.window is None else \
+            f"[{self.window[0]}, {self.window[1]})"
+        return f"{self.kind} on {self.target_path} {window}"
+
+    # -- helpers ------------------------------------------------------------
+
+    def _in_window(self) -> bool:
+        if self.window is None:
+            return True
+        assert self._sim is not None
+        return self.window[0] <= self._sim.time < self.window[1]
+
+    def _at(self, time: int, action: typing.Callable[[], None]) -> None:
+        """Schedule *action* at absolute simulation *time* (or now)."""
+        assert self._sim is not None
+        scheduler = self._sim.scheduler
+        event = Event(scheduler, f"fault.{self.kind}.{self.target_path}")
+        event.add_callback(action)
+        event.notify_after(max(0, time - scheduler.time))
+
+    def _resolve(self, sim: Simulator, expected: type | tuple) -> object:
+        target = sim.lookup(self.target_path)
+        if not isinstance(target, expected):
+            raise FaultInjectionError(
+                f"fault {self.kind!r} cannot target "
+                f"{type(target).__name__} {self.target_path!r}"
+            )
+        return target
+
+    # -- interface ------------------------------------------------------------
+
+    def arm(self, sim: Simulator) -> None:
+        """Install the interceptor; must be called before the run."""
+        raise NotImplementedError
+
+
+# -- pin-level signal faults ---------------------------------------------------
+
+
+def _signal_width(signal: "Signal | ResolvedSignal") -> int | None:
+    return signal.width
+
+
+def _override_value(signal: "Signal | ResolvedSignal", value: object) -> None:
+    """Set a committed value out of band, firing edges and tracers."""
+    if isinstance(signal, Signal):
+        signal.force(value)
+        return
+    # ResolvedSignal has no force(): commit directly, as its update would.
+    if not isinstance(value, LogicVector):
+        value = LogicVector(signal.width, value)
+    if value == signal._value:
+        return
+    signal._value = value
+    if signal._changed is not None:
+        signal._changed.notify_delta()
+    signal._sim._notify_trace(signal, value)
+
+
+class SignalFault(FaultModel):
+    """Common machinery for faults on signal commits."""
+
+    target_kind = SIGNAL_TARGET
+
+    def _hook_update(
+        self,
+        signal: "Signal | ResolvedSignal",
+        wrapper_factory: typing.Callable[[typing.Callable[[], None]],
+                                         typing.Callable[[], None]],
+    ) -> None:
+        original = signal._perform_update
+        signal._perform_update = wrapper_factory(original)  # type: ignore[method-assign]
+
+
+class StuckAtFault(SignalFault):
+    """The wire holds a constant value for the whole window.
+
+    :param value: the stuck level (int, coerced to the signal width).
+    """
+
+    kind = "stuck_at"
+
+    def __init__(
+        self,
+        target_path: str,
+        window: "tuple[int, int] | None" = None,
+        value: int = 0,
+    ) -> None:
+        super().__init__(target_path, window)
+        self.value = value
+
+    def arm(self, sim: Simulator) -> None:
+        self._sim = sim
+        signal = typing.cast(
+            "Signal | ResolvedSignal",
+            self._resolve(sim, (Signal, ResolvedSignal)),
+        )
+        stuck: object = self.value
+        if signal.width is not None:
+            stuck = LogicVector(signal.width, self.value)
+
+        def wrapper(original: typing.Callable[[], None]):
+            def patched() -> None:
+                if not self._in_window():
+                    original()
+                    return
+                # Hold the line: drop the staged/resolved commit entirely.
+                if isinstance(signal, Signal):
+                    signal._has_next = False
+                    signal._delta_writer = None
+                self.activations += 1
+                _override_value(signal, stuck)
+            return patched
+
+        self._hook_update(signal, wrapper)
+
+        def clamp() -> None:
+            self.activations += 1
+            _override_value(signal, stuck)
+
+        def release() -> None:
+            # Re-resolve / leave the stuck value for plain signals (a
+            # stuck-at that heals keeps its last level until redriven).
+            signal._request_update()
+
+        start = 0 if self.window is None else self.window[0]
+        self._at(start, clamp)
+        if self.window is not None:
+            self._at(self.window[1], release)
+
+
+class BitFlipFault(SignalFault):
+    """One bit of the first commit inside the window is inverted."""
+
+    kind = "bit_flip"
+
+    def __init__(
+        self,
+        target_path: str,
+        window: "tuple[int, int] | None" = None,
+        bit: int = 0,
+    ) -> None:
+        super().__init__(target_path, window)
+        self.bit = bit
+
+    def _flip(self, value: object, width: int | None) -> object | None:
+        """Corrupted copy of *value*, or ``None`` when it cannot flip."""
+        if isinstance(value, LogicVector):
+            if not value.is_fully_defined:
+                return None
+            width = value.width
+            return LogicVector(width, value.to_int() ^ (1 << (self.bit % width)))
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, int):
+            return value ^ (1 << self.bit)
+        return None
+
+    def arm(self, sim: Simulator) -> None:
+        self._sim = sim
+        signal = typing.cast(
+            "Signal | ResolvedSignal",
+            self._resolve(sim, (Signal, ResolvedSignal)),
+        )
+
+        def wrapper(original: typing.Callable[[], None]):
+            def patched() -> None:
+                original()
+                if self.activations or not self._in_window():
+                    return
+                flipped = self._flip(signal.read(), signal.width)
+                if flipped is None:
+                    return
+                self.activations += 1
+                _override_value(signal, flipped)
+            return patched
+
+        self._hook_update(signal, wrapper)
+
+
+class TransientGlitchFault(SignalFault):
+    """The wire is forced to a value for a short duration, then restored.
+
+    :param value: the glitch level.
+    :param duration: femtoseconds the glitch lasts (defaults to the
+        whole window).
+    """
+
+    kind = "glitch"
+
+    def __init__(
+        self,
+        target_path: str,
+        window: "tuple[int, int] | None" = None,
+        value: int = 1,
+        duration: "int | None" = None,
+    ) -> None:
+        if window is None:
+            raise FaultInjectionError("a glitch fault needs a time window")
+        super().__init__(target_path, window)
+        self.value = value
+        self.duration = (
+            duration if duration is not None else window[1] - window[0]
+        )
+
+    def arm(self, sim: Simulator) -> None:
+        self._sim = sim
+        signal = typing.cast(
+            "Signal | ResolvedSignal",
+            self._resolve(sim, (Signal, ResolvedSignal)),
+        )
+        glitch: object = self.value
+        if signal.width is not None:
+            glitch = LogicVector(signal.width, self.value)
+        saved: dict[str, object] = {}
+
+        def strike() -> None:
+            saved["value"] = signal.read()
+            self.activations += 1
+            _override_value(signal, glitch)
+
+        def restore() -> None:
+            if isinstance(signal, ResolvedSignal):
+                signal._request_update()  # re-resolve from live drivers
+            elif "value" in saved:
+                _override_value(signal, saved["value"])
+
+        assert self.window is not None
+        self._at(self.window[0], strike)
+        self._at(self.window[0] + self.duration, restore)
+
+
+# -- guarded-method / arbitration faults ---------------------------------------
+
+
+class _StalledDescriptor:
+    """A guarded-method view whose guard never opens (grant withheld)."""
+
+    def __init__(self, wrapped: GuardedMethodDescriptor) -> None:
+        self._wrapped = wrapped
+        self.func = wrapped.func
+        self.guard = wrapped.guard
+        self.__name__ = wrapped.__name__
+
+    def guard_true(self, state: object) -> bool:
+        return False
+
+    def invoke(self, state: object, *args: object, **kwargs: object) -> object:
+        return self._wrapped.invoke(state, *args, **kwargs)
+
+
+class ChannelFault(FaultModel):
+    """Common machinery for faults on a shared state space."""
+
+    target_kind = CHANNEL_TARGET
+
+    def _space(self, sim: Simulator):
+        handle = typing.cast(
+            GlobalObject, self._resolve(sim, GlobalObject)
+        )
+        return handle._root().space
+
+
+class DelayedGrantFault(ChannelFault):
+    """The channel's arbiter withholds every grant during the window.
+
+    Callers queue up; when the window closes the backlog drains. A
+    window that outlives the run turns the delay into a deadlock, which
+    the run watchdog reports through ``blocked_processes``.
+    """
+
+    kind = "delayed_grant"
+
+    def arm(self, sim: Simulator) -> None:
+        self._sim = sim
+        space = self._space(sim)
+        original = space.descriptor
+
+        def patched(method: str):
+            descriptor = original(method)
+            if self._in_window():
+                self.activations += 1
+                return _StalledDescriptor(descriptor)
+            return descriptor
+
+        space.descriptor = patched  # type: ignore[method-assign]
+        if self.window is not None:
+            # Wake the server when the window closes so the backlog drains.
+            self._at(self.window[1], space.touch)
+
+
+class DroppedRequestFault(ChannelFault):
+    """Requests vanish: completed towards the caller, never executed.
+
+    :param method: only drop calls to this guarded method (``None``
+        drops any).
+    :param max_drops: stop dropping after this many requests.
+    """
+
+    kind = "dropped_request"
+
+    def __init__(
+        self,
+        target_path: str,
+        window: "tuple[int, int] | None" = None,
+        method: str | None = None,
+        max_drops: int = 1,
+    ) -> None:
+        super().__init__(target_path, window)
+        self.method = method
+        self.max_drops = max_drops
+
+    def arm(self, sim: Simulator) -> None:
+        self._sim = sim
+        space = self._space(sim)
+        original = space.submit
+
+        def patched(request) -> None:
+            if (
+                self.activations < self.max_drops
+                and self._in_window()
+                and (self.method is None or request.method == self.method)
+            ):
+                self.activations += 1
+                request.result = None
+                request.completed = True
+                request.complete_time = sim.time
+                request.done_event.notify_delta()
+                return
+            original(request)
+
+        space.submit = patched  # type: ignore[method-assign]
+
+
+class CommandCorruptionFault(ChannelFault):
+    """Transaction-layer corruption of commands entering the channel.
+
+    Intercepts ``put_command`` submissions and XORs the command's
+    address or first data word with a mask — the bus-level effect of a
+    corrupted request path between application and interface element.
+
+    :param field: ``"address"`` or ``"data"``.
+    :param mask: XOR mask (addresses stay word-aligned: the low two bits
+        of the mask are cleared).
+    :param max_corruptions: stop corrupting after this many commands.
+    """
+
+    kind = "command_corruption"
+
+    def __init__(
+        self,
+        target_path: str,
+        window: "tuple[int, int] | None" = None,
+        field: str = "data",
+        mask: int = 1,
+        max_corruptions: int = 1,
+    ) -> None:
+        super().__init__(target_path, window)
+        if field not in ("address", "data"):
+            raise FaultInjectionError(f"unknown corruption field {field!r}")
+        self.field = field
+        self.mask = mask
+        self.max_corruptions = max_corruptions
+
+    def _corrupt(self, command):
+        from ..core.command import CommandType
+
+        if self.field == "address":
+            address = (command.address ^ (self.mask & ~0x3)) & 0xFFFF_FFFC
+            data = list(command.data) or None
+        else:
+            if command.is_write:
+                data = list(command.data)
+                data[0] = (data[0] ^ self.mask) & 0xFFFF_FFFF
+            else:
+                return None  # reads carry no data to corrupt
+            address = command.address
+        if address == command.address and data == command.data:
+            return None
+        return CommandType(
+            command.kind,
+            address,
+            data=data if command.is_write else None,
+            count=command.count if command.is_read else 1,
+            byte_enables=command.byte_enables,
+        )
+
+    def arm(self, sim: Simulator) -> None:
+        self._sim = sim
+        space = self._space(sim)
+        original = space.submit
+
+        def patched(request) -> None:
+            if (
+                self.activations < self.max_corruptions
+                and self._in_window()
+                and request.method == "put_command"
+                and request.args
+            ):
+                corrupted = self._corrupt(request.args[0])
+                if corrupted is not None:
+                    self.activations += 1
+                    request.args = (corrupted,) + tuple(request.args[1:])
+            original(request)
+
+        space.submit = patched  # type: ignore[method-assign]
+
+
+#: Registry: fault kind tag -> model class.
+FAULT_KINDS: dict[str, type[FaultModel]] = {
+    cls.kind: cls
+    for cls in (
+        StuckAtFault,
+        BitFlipFault,
+        TransientGlitchFault,
+        DelayedGrantFault,
+        DroppedRequestFault,
+        CommandCorruptionFault,
+    )
+}
+
+
+def make_fault(
+    kind: str,
+    target_path: str,
+    window: "tuple[int, int] | None" = None,
+    **params: typing.Any,
+) -> FaultModel:
+    """Build a fault model from its registry tag."""
+    try:
+        cls = FAULT_KINDS[kind]
+    except KeyError:
+        raise FaultInjectionError(
+            f"unknown fault kind {kind!r}; known: {sorted(FAULT_KINDS)}"
+        ) from None
+    return cls(target_path, window, **params)

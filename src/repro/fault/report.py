@@ -1,0 +1,122 @@
+"""Campaign reporting: coverage table and JSON document."""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from .campaign import (
+    BENIGN,
+    CLASSIFICATIONS,
+    DETECTED,
+    SILENT,
+    classify_counts,
+    detection_coverage,
+)
+from .runner import CampaignResult
+
+
+def _format_table(
+    headers: typing.Sequence[str], rows: typing.Sequence[typing.Sequence]
+) -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(row: typing.Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), rule, *(line(r) for r in cells)])
+
+
+def per_kind_breakdown(result: CampaignResult) -> dict:
+    """``{fault kind: {classification: count}}`` over all outcomes."""
+    breakdown: dict = {}
+    for outcome in result.outcomes:
+        row = breakdown.setdefault(
+            outcome.kind, {c: 0 for c in CLASSIFICATIONS}
+        )
+        row[outcome.classification] += 1
+    return breakdown
+
+
+def render_report(result: CampaignResult, verbose: bool = False) -> str:
+    """Human-readable campaign report."""
+    counts = classify_counts(result.outcomes)
+    coverage = detection_coverage(result.outcomes)
+    rows = []
+    for kind, row in sorted(per_kind_breakdown(result).items()):
+        effective = row[DETECTED] + row[SILENT]
+        kind_coverage = (
+            f"{row[DETECTED] / effective:6.1%}" if effective else "   n/a"
+        )
+        rows.append(
+            [kind, sum(row.values()), row[DETECTED], row[SILENT],
+             row[BENIGN], kind_coverage]
+        )
+    lines = [
+        f"fault campaign {result.spec.name!r} "
+        f"(platform={result.spec.platform}, seed={result.spec.seed})",
+        f"  runs: {len(result.outcomes)}  workers: {result.workers}  "
+        f"wall: {result.wall_seconds:.2f}s  "
+        f"({result.runs_per_second:.1f} runs/s)",
+        "",
+        _format_table(
+            ["fault", "runs", "detected", "silent", "benign", "coverage"],
+            rows,
+        ),
+        "",
+    ]
+    summary = "  ".join(f"{c}={counts[c]}" for c in CLASSIFICATIONS)
+    lines.append(f"totals: {summary}")
+    if coverage is None:
+        lines.append("detection coverage: n/a (no effective faults)")
+    else:
+        lines.append(
+            f"detection coverage: {coverage:.1%} "
+            f"({counts[DETECTED]}/{counts[DETECTED] + counts[SILENT]} "
+            "effective faults detected)"
+        )
+    if verbose:
+        lines.append("")
+        lines.append(
+            _format_table(
+                ["run", "fault", "target", "class", "detail"],
+                [
+                    [
+                        f"{o.run_id:03d}", o.kind, o.target_path,
+                        o.classification, o.detail[:60],
+                    ]
+                    for o in result.outcomes
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+def report_as_dict(result: CampaignResult) -> dict:
+    """JSON-ready document of the whole campaign."""
+    return {
+        "campaign": result.spec.name,
+        "platform": result.spec.platform,
+        "seed": result.spec.seed,
+        "runs": len(result.outcomes),
+        "workers": result.workers,
+        "wall_seconds": round(result.wall_seconds, 4),
+        "runs_per_second": round(result.runs_per_second, 3),
+        "classifications": classify_counts(result.outcomes),
+        "detection_coverage": detection_coverage(result.outcomes),
+        "per_kind": per_kind_breakdown(result),
+        "golden": {
+            "horizon": result.golden.horizon,
+            "transactions": sum(
+                len(t) for t in result.golden.traces.values()
+            ),
+        },
+        "outcomes": [o.to_dict() for o in result.outcomes],
+    }
+
+
+def report_as_json(result: CampaignResult, indent: int = 2) -> str:
+    return json.dumps(report_as_dict(result), indent=indent)

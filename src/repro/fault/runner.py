@@ -1,0 +1,161 @@
+"""Serial and parallel campaign runners.
+
+Every run is fully isolated: the worker rebuilds the platform from the
+picklable :class:`~repro.fault.spec.CampaignSpec`, arms exactly one
+fault, and classifies against the golden reference computed once by the
+parent. Parallelism uses :class:`concurrent.futures.ProcessPoolExecutor`
+so a run that corrupts interpreter state, leaks design objects or spins
+cannot poison its siblings; a per-run wall-clock alarm kills runaways.
+
+Outcomes are returned sorted by run id, so serial and parallel execution
+produce byte-identical reports for the same spec and seed.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import os
+import signal as _signal
+import time as _time
+import typing
+
+from .campaign import (
+    GoldenReference,
+    RunOutcome,
+    TIMEOUT,
+    execute_run,
+    plan_campaign,
+)
+from .spec import CampaignSpec, RunSpec
+
+
+class _WallTimeout(Exception):
+    """Raised inside a run when its wall-clock budget expires."""
+
+
+def _alarm_handler(signum: object, frame: object) -> None:
+    raise _WallTimeout()
+
+
+def _run_with_timeout(
+    spec: CampaignSpec, run: RunSpec, golden: GoldenReference
+) -> RunOutcome:
+    """Execute one run under a wall-clock alarm (POSIX main thread)."""
+    use_alarm = (
+        hasattr(_signal, "SIGALRM") and spec.wall_timeout
+        and _signal.getsignal(_signal.SIGALRM)
+        in (_signal.SIG_DFL, _signal.default_int_handler, _alarm_handler, None)
+    )
+    started = _time.perf_counter()
+    if use_alarm:
+        _signal.signal(_signal.SIGALRM, _alarm_handler)
+        _signal.alarm(max(1, math.ceil(spec.wall_timeout)))
+    try:
+        return execute_run(spec, run, golden)
+    except _WallTimeout:
+        return RunOutcome(
+            run.run_id,
+            run.kind,
+            run.target_path,
+            run.window,
+            TIMEOUT,
+            f"wall-clock timeout after {spec.wall_timeout}s",
+            wall_seconds=_time.perf_counter() - started,
+        )
+    finally:
+        if use_alarm:
+            _signal.alarm(0)
+
+
+#: Per-worker campaign context, installed once by the pool initializer
+#: so only the (tiny) RunSpec travels per task.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(spec: CampaignSpec, golden: GoldenReference) -> None:
+    _WORKER_STATE["spec"] = spec
+    _WORKER_STATE["golden"] = golden
+
+
+def _worker(run: RunSpec) -> RunOutcome:
+    """Top-level (picklable) worker entry for the process pool."""
+    return _run_with_timeout(_WORKER_STATE["spec"], run, _WORKER_STATE["golden"])
+
+
+class CampaignResult:
+    """Everything a campaign produced, ready for reporting."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        golden: GoldenReference,
+        outcomes: list[RunOutcome],
+        wall_seconds: float,
+        workers: int,
+    ) -> None:
+        self.spec = spec
+        self.golden = golden
+        self.outcomes = outcomes
+        self.wall_seconds = wall_seconds
+        self.workers = workers
+
+    @property
+    def runs_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return len(self.outcomes) / self.wall_seconds
+
+    def classification_of(self, run_id: int) -> str:
+        return self.outcomes[run_id].classification
+
+
+def default_workers() -> int:
+    return max(1, min(8, (os.cpu_count() or 2) // 2))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    progress: typing.Callable[[RunOutcome], None] | None = None,
+    max_runs: int | None = None,
+) -> CampaignResult:
+    """Plan and execute a whole campaign.
+
+    :param workers: 1 = serial in-process; >1 = that many worker
+        processes.
+    :param progress: optional callback invoked with each outcome as it
+        lands (completion order, not run order).
+    :param max_runs: truncate the expanded run list (smoke testing).
+    """
+    started = _time.perf_counter()
+    golden, runs = plan_campaign(spec)
+    if max_runs is not None:
+        runs = runs[:max_runs]
+    if workers <= 1:
+        outcomes = []
+        for run in runs:
+            outcome = _run_with_timeout(spec, run, golden)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    else:
+        outcomes = []
+        chunksize = max(1, math.ceil(len(runs) / (workers * 4)))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(spec, golden),
+        ) as pool:
+            for outcome in pool.map(_worker, runs, chunksize=chunksize):
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+    outcomes.sort(key=lambda o: o.run_id)
+    return CampaignResult(
+        spec,
+        golden,
+        outcomes,
+        _time.perf_counter() - started,
+        workers,
+    )

@@ -52,6 +52,7 @@ class PciPlatformConfig:
         arbiter: Arbiter | None = None,
         response_capacity: int = 4,
         monitor_strict: bool = True,
+        app_think_time: int = 0,
     ) -> None:
         self.clock_period = clock_period
         self.mem_size = mem_size
@@ -64,6 +65,9 @@ class PciPlatformConfig:
         self.arbiter = arbiter
         self.response_capacity = response_capacity
         self.monitor_strict = monitor_strict
+        #: fs of local work each application simulates between commands
+        #: (0 = back-to-back traffic; >0 leaves idle bus cycles).
+        self.app_think_time = app_think_time
 
 
 class PlatformBundle:
@@ -122,7 +126,8 @@ def build_functional_platform(
                 response_capacity=config.response_capacity,
             )
             self.apps = [
-                Application(self, f"app{i}", commands, self.interface)
+                Application(self, f"app{i}", commands, self.interface,
+                            think_time=config.app_think_time)
                 for i, commands in enumerate(workloads)
             ]
 
@@ -191,7 +196,8 @@ def build_pci_platform(
                 response_capacity=config.response_capacity,
             )
             self.apps = [
-                Application(self, f"app{i}", commands, self.interface)
+                Application(self, f"app{i}", commands, self.interface,
+                            think_time=config.app_think_time)
                 for i, commands in enumerate(workloads)
             ]
 
@@ -269,7 +275,8 @@ def build_wishbone_platform(
                 response_capacity=config.response_capacity,
             )
             self.apps = [
-                Application(self, f"app{i}", commands, self.interface)
+                Application(self, f"app{i}", commands, self.interface,
+                            think_time=config.app_think_time)
                 for i, commands in enumerate(workloads)
             ]
 

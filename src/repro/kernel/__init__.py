@@ -19,13 +19,16 @@ from .process import Process, Timeout
 from .scheduler import Scheduler
 from .signal_base import UpdateTarget
 from .simtime import FS, MS, NS, PS, SEC, US, format_time
-from .simulator import Simulator
+from .simulator import BlockedProcess, DetectionRecord, IdleRun, Simulator
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BlockedProcess",
+    "DetectionRecord",
     "Event",
     "FS",
+    "IdleRun",
     "MS",
     "NS",
     "PS",

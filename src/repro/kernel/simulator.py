@@ -23,6 +23,73 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..hdl.module import Module
 
 
+class DetectionRecord:
+    """One checker/scoreboard/monitor firing, as seen by the simulator.
+
+    The fault-injection classifier consumes these: a run during which any
+    detection was recorded counts as *detected* even when the reporting
+    checker was non-strict (i.e. did not raise).
+    """
+
+    __slots__ = ("source", "message", "time")
+
+    def __init__(self, source: str, message: str, time: int) -> None:
+        self.source = source
+        self.message = message
+        self.time = time
+
+    def __repr__(self) -> str:
+        return f"DetectionRecord({self.source}: {self.message})"
+
+
+class BlockedProcess:
+    """A process stuck on a guarded-method call when the run ended."""
+
+    __slots__ = ("process_name", "client", "object_path", "method", "arrival_time")
+
+    def __init__(
+        self,
+        process_name: str,
+        client: str,
+        object_path: str,
+        method: str,
+        arrival_time: int,
+    ) -> None:
+        self.process_name = process_name
+        self.client = client
+        self.object_path = object_path
+        self.method = method
+        self.arrival_time = arrival_time
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockedProcess({self.process_name} waiting on "
+            f"{self.object_path}.{self.method} since {self.arrival_time})"
+        )
+
+
+class IdleRun(int):
+    """Result of :meth:`Simulator.run_until_idle`.
+
+    Behaves as the plain end-time integer older callers expect, but also
+    carries the processes still blocked on guarded-method calls at the
+    end of the run — the signal the fault classifier and the GRD
+    deadlock rules consume instead of silently losing it.
+    """
+
+    blocked_processes: tuple[BlockedProcess, ...] = ()
+
+    def __new__(cls, time: int, blocked: typing.Sequence[BlockedProcess] = ()):
+        value = super().__new__(cls, time)
+        value.blocked_processes = tuple(blocked)
+        return value
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no process was left blocked on a guard."""
+        return not self.blocked_processes
+
+
 class Simulator:
     """One simulation context: scheduler + design hierarchy + tracing."""
 
@@ -32,6 +99,8 @@ class Simulator:
         self._top_modules: list["Module"] = []
         self._tracers: list[typing.Any] = []
         self.elaborated = False
+        #: Checker/scoreboard/monitor firings (see :meth:`report_detection`).
+        self.detections: list[DetectionRecord] = []
 
     # -- time / control -------------------------------------------------------
 
@@ -122,11 +191,65 @@ class Simulator:
         for tracer in self._tracers:
             tracer.record_change(self.scheduler.time, signal, value)
 
+    # -- detection plumbing ------------------------------------------------------
+
+    def report_detection(self, source: str, message: str) -> None:
+        """Record that a runtime checker fired.
+
+        Called by the verify checkers, scoreboards and bus monitors on
+        every violation (strict or not), so the fault-injection
+        classifier can tell *detected* misbehaviour apart from silent
+        corruption without depending on exception propagation.
+        """
+        self.detections.append(
+            DetectionRecord(source, message, self.scheduler.time)
+        )
+
     # -- convenience ---------------------------------------------------------------
 
-    def run_until_idle(self, max_time: int | None = None) -> int:
-        """Run until event starvation; optionally bounded by *max_time*."""
+    def blocked_processes(self) -> list[BlockedProcess]:
+        """Processes currently stuck on guarded-method calls.
+
+        A call is *blocked* when its request is still pending in some
+        shared state space: either the guard is false, or arbitration
+        never granted it. The caller process is resolved through the
+        request's completion event; when the caller cannot be identified
+        (e.g. a timed-out and cancelled call) the request's client id is
+        still reported.
+        """
+        blocked: list[BlockedProcess] = []
+        seen_spaces: set[int] = set()
+        for __, obj in self.iter_named():
+            space = getattr(obj, "_space", None)
+            if space is None or id(space) in seen_spaces:
+                continue
+            seen_spaces.add(id(space))
+            for request in getattr(space, "pending", []):
+                waiter = None
+                for process in self.scheduler.processes:
+                    if request.done_event in process._waiting_on:
+                        waiter = process
+                        break
+                blocked.append(
+                    BlockedProcess(
+                        waiter.name if waiter is not None else request.client,
+                        request.client,
+                        space.name,
+                        request.method,
+                        request.arrival_time,
+                    )
+                )
+        return blocked
+
+    def run_until_idle(self, max_time: int | None = None) -> IdleRun:
+        """Run until event starvation; optionally bounded by *max_time*.
+
+        :returns: an :class:`IdleRun` — the end time (usable as a plain
+            ``int``) carrying :attr:`IdleRun.blocked_processes`, the
+            guarded-method calls still stuck when the run ended.
+        """
         if max_time is not None and max_time < self.time:
             raise SimulationError("max_time is in the past")
         duration = None if max_time is None else max_time - self.time
-        return self.run(duration)
+        end_time = self.run(duration)
+        return IdleRun(end_time, self.blocked_processes())

@@ -15,6 +15,7 @@ Entry points: :func:`lint_design`, :func:`lint_rtl_module`,
 
 from .diagnostics import Diagnostic, LintReport, Severity, worst_severity
 from .engine import (
+    CAMPAIGN,
     DESIGN,
     IR,
     LintConfig,
@@ -27,9 +28,10 @@ from .engine import (
     register,
 )
 from .context import DesignContext
-from .runner import lint_design, lint_rtl_module, lint_synthesis
+from .runner import lint_campaign, lint_design, lint_rtl_module, lint_synthesis
 
 __all__ = [
+    "CAMPAIGN",
     "DESIGN",
     "IR",
     "DesignContext",
@@ -43,6 +45,7 @@ __all__ = [
     "Severity",
     "Suppression",
     "default_registry",
+    "lint_campaign",
     "lint_design",
     "lint_rtl_module",
     "lint_synthesis",

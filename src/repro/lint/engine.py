@@ -22,8 +22,9 @@ from ..errors import ReproError
 from .diagnostics import Diagnostic, LintReport, Severity
 
 #: Target kinds a rule can apply to.
-DESIGN = "design"   # an elaboratable Simulator + module hierarchy
-IR = "ir"           # a synthesis RtlModule
+DESIGN = "design"     # an elaboratable Simulator + module hierarchy
+IR = "ir"             # a synthesis RtlModule
+CAMPAIGN = "campaign"  # a fault CampaignSpec against a probe platform
 
 
 class LintRuleError(ReproError):

@@ -7,7 +7,9 @@ These are what the flow, the synthesis tool and the CLI call:
 * :func:`lint_rtl_module` — run the IR rules over one
   :class:`~repro.synthesis.ir.RtlModule`;
 * :func:`lint_synthesis` — run the IR rules over every netlist of a
-  :class:`~repro.synthesis.tool.SynthesisResult`.
+  :class:`~repro.synthesis.tool.SynthesisResult`;
+* :func:`lint_campaign` — run the FLT rules over a fault
+  :class:`~repro.fault.spec.CampaignSpec` before spending runs on it.
 
 Importing this module pulls in the rule modules, which register into the
 default registry as a side effect.
@@ -20,12 +22,14 @@ import typing
 from ..kernel.simulator import Simulator
 from .context import DesignContext
 from .diagnostics import LintReport
-from .engine import DESIGN, IR, LintConfig, LintEngine, RuleRegistry
-from . import guard_rules as _guard_rules    # noqa: F401  (rule registration)
+from .engine import CAMPAIGN, DESIGN, IR, LintConfig, LintEngine, RuleRegistry
+from . import fault_rules as _fault_rules    # noqa: F401  (rule registration)
+from . import guard_rules as _guard_rules    # noqa: F401
 from . import ir_rules as _ir_rules          # noqa: F401
 from . import module_rules as _module_rules  # noqa: F401
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..fault.spec import CampaignSpec
     from ..synthesis.ir import RtlModule
     from ..synthesis.tool import SynthesisResult
 
@@ -49,6 +53,24 @@ def lint_rtl_module(
     """Run every IR-level rule over one synthesized netlist."""
     engine = LintEngine(config, registry)
     return engine.run(module, IR, module.name)
+
+
+def lint_campaign(
+    spec: "CampaignSpec",
+    config: LintConfig | None = None,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Run the campaign rules (FLT0xx) over a fault campaign spec.
+
+    Builds one probe instance of the campaign's platform to resolve the
+    target globs and enumerate the observers; nothing is simulated.
+    """
+    from ..fault.campaign import build_campaign_platform
+    from .fault_rules import CampaignContext
+
+    bundle = build_campaign_platform(spec)
+    engine = LintEngine(config, registry)
+    return engine.run(CampaignContext(spec, bundle), CAMPAIGN, spec.name)
 
 
 def lint_synthesis(

@@ -43,6 +43,7 @@ class InvariantChecker(Module):
             return
         text = f"{self.sim.time_str()}: {self.message} (value={value!r})"
         self.violations.append(text)
+        self.sim.report_detection(self.path, text)
         if self.strict:
             raise ProtocolError(f"{self.path}: {text}")
 
@@ -90,5 +91,6 @@ class OneHotChecker(Module):
             return
         text = f"{self.sim.time_str()}: multiple asserted: {asserted}"
         self.violations.append(text)
+        self.sim.report_detection(self.path, text)
         if self.strict:
             raise ProtocolError(f"{self.path}: {text}")

@@ -14,11 +14,17 @@ class Scoreboard:
 
     :param name: label used in error messages.
     :param strict: raise on the first mismatch (otherwise collect).
+    :param sim: optional simulator; mismatches are then also reported
+        through :meth:`~repro.kernel.simulator.Simulator.report_detection`
+        so fault-injection campaigns can classify them as *detected*.
     """
 
-    def __init__(self, name: str = "scoreboard", strict: bool = True) -> None:
+    def __init__(
+        self, name: str = "scoreboard", strict: bool = True, sim=None
+    ) -> None:
         self.name = name
         self.strict = strict
+        self.sim = sim
         self._expected: deque = deque()
         self.matched = 0
         self.mismatches: list[str] = []
@@ -42,6 +48,8 @@ class Scoreboard:
 
     def _fail(self, message: str) -> None:
         self.mismatches.append(message)
+        if self.sim is not None:
+            self.sim.report_detection(self.name, message)
         if self.strict:
             raise ConsistencyError(message)
 

@@ -54,6 +54,7 @@ class WishboneMonitor(Module):
     def _violation(self, message: str) -> None:
         text = f"{self.sim.time_str()}: {message}"
         self.violations.append(text)
+        self.sim.report_detection(self.path, text)
         if self.strict:
             raise ProtocolError(f"{self.path}: {text}")
 

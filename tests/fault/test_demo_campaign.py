@@ -1,0 +1,65 @@
+"""The PR's acceptance scenario: the stock campaign on the Figure-4
+PCI platform, end to end through the parallel runner.
+
+The full-size campaign is ``slow``; a truncated smoke version keeps the
+subsystem exercised in every tier-1 run.
+"""
+
+import pytest
+
+from repro.fault import (
+    BENIGN,
+    CLASSIFICATIONS,
+    DETECTED,
+    classify_counts,
+    demo_campaign_spec,
+    detection_coverage,
+    run_campaign,
+)
+
+
+def _fingerprint(result):
+    return [
+        (o.run_id, o.kind, o.target_path, o.window, o.classification)
+        for o in result.outcomes
+    ]
+
+
+class TestSmoke:
+    def test_truncated_demo_classifies_cleanly(self):
+        result = run_campaign(
+            demo_campaign_spec("pci", seed=11, runs=12),
+            workers=2, max_runs=12,
+        )
+        counts = classify_counts(result.outcomes)
+        assert len(result.outcomes) == 12
+        assert counts["error"] == 0
+        assert counts["timeout"] == 0
+        assert len({o.kind for o in result.outcomes}) >= 2
+        assert all(o.classification in CLASSIFICATIONS
+                   for o in result.outcomes)
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    def test_full_demo_campaign(self):
+        spec = demo_campaign_spec("pci", seed=11, runs=60)
+        result = run_campaign(spec, workers=2)
+        counts = classify_counts(result.outcomes)
+
+        assert len(result.outcomes) >= 50
+        assert len({o.kind for o in result.outcomes}) >= 3
+        assert counts[DETECTED] >= 1
+        assert counts[BENIGN] >= 1
+        assert counts["error"] == 0
+        coverage = detection_coverage(result.outcomes)
+        assert coverage is not None and 0.0 < coverage < 1.0
+
+    def test_identical_seeds_identical_classifications(self):
+        spec = demo_campaign_spec("pci", seed=29, runs=60)
+        first = run_campaign(spec, workers=2, max_runs=30)
+        second = run_campaign(
+            demo_campaign_spec("pci", seed=29, runs=60),
+            workers=1, max_runs=30,
+        )
+        assert _fingerprint(first) == _fingerprint(second)

@@ -1,0 +1,53 @@
+"""Tests for the campaign lint rule FLT001 (unobserved fault targets)."""
+
+from repro.fault import CampaignSpec, FaultSpec, demo_campaign_spec
+from repro.lint import lint_campaign
+
+
+def _spec(faults):
+    return CampaignSpec("lint-test", faults, platform="pci",
+                        n_apps=1, commands_per_app=2)
+
+
+class TestFlt001:
+    def test_demo_campaign_is_clean(self):
+        report = lint_campaign(demo_campaign_spec("pci", runs=6))
+        assert not [d for d in report.diagnostics
+                    if d.rule_id == "FLT001"]
+
+    def test_unobserved_signal_target_warns(self):
+        report = lint_campaign(_spec([
+            FaultSpec("stuck_at", "top.clock.clk", params={"value": 0}),
+        ]))
+        findings = [d for d in report.diagnostics if d.rule_id == "FLT001"]
+        assert len(findings) == 1
+        assert findings[0].path == "top.clock.clk"
+        assert "unobserved" in findings[0].message
+        assert findings[0].hint
+
+    def test_mixed_line_with_observed_target_passes(self):
+        # The glob also matches monitored bus wires, so the line can
+        # produce detections and must not warn.
+        report = lint_campaign(_spec([
+            FaultSpec("bit_flip", "top.*", params={"bit": 0}),
+        ]))
+        assert not [d for d in report.diagnostics
+                    if d.rule_id == "FLT001"]
+
+    def test_channel_lines_out_of_scope(self):
+        report = lint_campaign(_spec([
+            FaultSpec("delayed_grant", "top.interface.channel"),
+        ]))
+        assert not [d for d in report.diagnostics
+                    if d.rule_id == "FLT001"]
+
+    def test_suppressible_like_any_rule(self):
+        from repro.lint import LintConfig
+
+        report = lint_campaign(
+            _spec([FaultSpec("stuck_at", "top.clock.clk",
+                             params={"value": 0})]),
+            config=LintConfig(suppress=["FLT001"]),
+        )
+        assert not report.diagnostics
+        assert report.suppressed == 1

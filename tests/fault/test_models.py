@@ -1,0 +1,298 @@
+"""Unit tests for the kernel-level fault models.
+
+Each model is exercised on a purpose-built micro design (one signal and
+a writer process, or one mailbox global object) so the perturbation is
+visible in isolation, away from the platform machinery.
+"""
+
+import pytest
+
+from repro.fault import (
+    FAULT_KINDS,
+    BitFlipFault,
+    CommandCorruptionFault,
+    DelayedGrantFault,
+    DroppedRequestFault,
+    FaultInjectionError,
+    StuckAtFault,
+    TransientGlitchFault,
+    make_fault,
+)
+from repro.hdl import Module
+from repro.kernel import NS, Simulator, Timeout
+from repro.osss import GlobalObject, guarded_method
+
+
+class _Recorder:
+    def __init__(self):
+        self.changes = []
+
+    def record_change(self, time, signal, value):
+        self.changes.append((time, signal.name, value.to_int()
+                             if hasattr(value, "to_int") else value))
+
+
+def _signal_rig():
+    """A byte-wide signal written with 1..8 every 10 ns."""
+    sim = Simulator()
+    top = Module(sim, "top")
+    data = top.signal("data", width=8, init=0)
+
+    def writer():
+        for i in range(1, 9):
+            yield Timeout(10 * NS)
+            data.write(i)
+
+    sim.spawn(writer, "w")
+    recorder = _Recorder()
+    sim.add_tracer(recorder)
+    sim.elaborate()
+    return sim, data, recorder
+
+
+def _values(recorder):
+    return [(t, v) for t, __, v in recorder.changes]
+
+
+class TestStuckAt:
+    def test_holds_level_inside_window(self):
+        sim, data, recorder = _signal_rig()
+        fault = StuckAtFault("top.data", window=(15 * NS, 45 * NS),
+                             value=0xFF)
+        fault.arm(sim)
+        sim.run(100 * NS)
+        values = _values(recorder)
+        # Clamped at window start, writes during the window suppressed.
+        assert (15 * NS, 0xFF) in values
+        for time, value in values:
+            if 15 * NS <= time < 45 * NS:
+                assert value == 0xFF
+        # Writes after the window show through again.
+        assert (50 * NS, 5) in values
+        assert fault.activations >= 1
+        assert data.read().to_int() == 8
+
+    def test_windowless_fault_is_always_on(self):
+        sim, data, recorder = _signal_rig()
+        StuckAtFault("top.data", value=0x42).arm(sim)
+        sim.run(100 * NS)
+        # No write ever shows through; the line reads the stuck level.
+        committed = {v for __, v in _values(recorder)}
+        assert committed <= {0x42}
+        assert data.read().to_int() == 0x42
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(FaultInjectionError, match="end before start"):
+            StuckAtFault("top.data", window=(50, 10))
+
+    def test_wrong_target_type_rejected(self):
+        sim, __, __unused = _signal_rig()
+        fault = StuckAtFault("top", value=1)
+        with pytest.raises(FaultInjectionError, match="cannot target"):
+            fault.arm(sim)
+
+
+class TestBitFlip:
+    def test_first_commit_in_window_flipped_once(self):
+        sim, data, recorder = _signal_rig()
+        fault = BitFlipFault("top.data", window=(15 * NS, 100 * NS), bit=7)
+        fault.arm(sim)
+        sim.run(100 * NS)
+        values = _values(recorder)
+        # The 20 ns write of 2 commits, then is overridden to 2|0x80.
+        assert (20 * NS, 2 | 0x80) in values
+        # One-shot: the 30 ns write commits clean.
+        assert (30 * NS, 3) in values
+        assert fault.activations == 1
+
+    def test_bit_wraps_to_width(self):
+        sim, data, recorder = _signal_rig()
+        fault = BitFlipFault("top.data", window=(15 * NS, 100 * NS), bit=8)
+        fault.arm(sim)
+        sim.run(100 * NS)
+        assert (20 * NS, 2 ^ 1) in _values(recorder)
+
+
+class TestGlitch:
+    def test_strike_and_restore(self):
+        sim, data, recorder = _signal_rig()
+        fault = TransientGlitchFault(
+            "top.data", window=(22 * NS, 28 * NS), value=0x55
+        )
+        fault.arm(sim)
+        sim.run(100 * NS)
+        values = _values(recorder)
+        assert (22 * NS, 0x55) in values
+        # Restored to the pre-glitch level at window end.
+        assert (28 * NS, 2) in values
+        assert fault.activations == 1
+        assert data.read().to_int() == 8
+
+    def test_duration_defaults_to_window_span(self):
+        fault = TransientGlitchFault("x", window=(100, 700))
+        assert fault.duration == 600
+
+    def test_window_required(self):
+        with pytest.raises(FaultInjectionError, match="window"):
+            TransientGlitchFault("top.data")
+
+
+class Mailbox:
+    def __init__(self):
+        self.slot = None
+
+    @guarded_method(lambda self: self.slot is None)
+    def put(self, item):
+        self.slot = item
+
+    @guarded_method(lambda self: self.slot is not None)
+    def get(self):
+        item, self.slot = self.slot, None
+        return item
+
+
+def _mailbox_rig(n_items=2):
+    sim = Simulator()
+    top = Module(sim, "top")
+    box = GlobalObject(top, "box", Mailbox)
+    received = []
+
+    def producer():
+        for item in range(1, n_items + 1):
+            yield Timeout(10 * NS)
+            yield from box.put(item)
+
+    def consumer():
+        for __ in range(n_items):
+            value = yield from box.get()
+            received.append((sim.time, value))
+
+    sim.spawn(producer, "producer")
+    sim.spawn(consumer, "consumer")
+    sim.elaborate()
+    return sim, received
+
+
+class TestDroppedRequest:
+    def test_dropped_put_never_executes(self):
+        sim, received = _mailbox_rig(n_items=2)
+        fault = DroppedRequestFault("top.box", method="put", max_drops=1)
+        fault.arm(sim)
+        result = sim.run_until_idle(500 * NS)
+        # First put vanished: the consumer only ever sees item 2, and
+        # its second get is stuck on the guard when the run starves.
+        assert [v for __, v in received] == [2]
+        assert fault.activations == 1
+        assert not result.quiescent
+        assert any(b.method == "get" for b in result.blocked_processes)
+
+    def test_method_filter(self):
+        sim, received = _mailbox_rig(n_items=2)
+        fault = DroppedRequestFault("top.box", method="no_such", max_drops=5)
+        fault.arm(sim)
+        sim.run_until_idle(500 * NS)
+        assert [v for __, v in received] == [1, 2]
+        assert fault.activations == 0
+
+
+class TestDelayedGrant:
+    def test_backlog_drains_at_window_end(self):
+        sim, received = _mailbox_rig(n_items=1)
+        fault = DelayedGrantFault("top.box", window=(0, 200 * NS))
+        fault.arm(sim)
+        result = sim.run_until_idle(500 * NS)
+        assert [v for __, v in received] == [1]
+        # Nothing completed before the grant window closed.
+        assert received[0][0] >= 200 * NS
+        assert fault.activations >= 1
+        assert result.quiescent
+
+    def test_unbounded_window_deadlocks(self):
+        sim, received = _mailbox_rig(n_items=1)
+        DelayedGrantFault("top.box").arm(sim)
+        result = sim.run_until_idle(500 * NS)
+        assert received == []
+        assert not result.quiescent
+
+
+class TestCommandCorruption:
+    def _rig(self, fault, command):
+        from repro.core import CommandType  # noqa: F401 - rig sanity
+
+        sim = Simulator()
+        top = Module(sim, "top")
+
+        class Channel:
+            def __init__(self):
+                self.seen = []
+
+            @guarded_method()
+            def put_command(self, cmd):
+                self.seen.append(cmd)
+
+        channel = GlobalObject(top, "channel", Channel)
+
+        def app():
+            yield Timeout(10 * NS)
+            yield from channel.put_command(command)
+
+        sim.spawn(app, "app")
+        sim.elaborate()
+        fault.arm(sim)
+        sim.run_until_idle(200 * NS)
+        return channel.state.seen
+
+    def test_write_data_xored(self):
+        from repro.core import CommandType
+
+        fault = CommandCorruptionFault("top.channel", field="data",
+                                       mask=0x10)
+        seen = self._rig(fault, CommandType.write(0x40, 0x22))
+        assert len(seen) == 1
+        assert seen[0].data[0] == 0x32
+        assert seen[0].address == 0x40
+        assert fault.activations == 1
+
+    def test_address_xored_stays_aligned(self):
+        from repro.core import CommandType
+
+        fault = CommandCorruptionFault("top.channel", field="address",
+                                       mask=0x17)
+        seen = self._rig(fault, CommandType.read(0x40))
+        assert seen[0].address == 0x40 ^ 0x14
+        assert seen[0].address % 4 == 0
+
+    def test_read_data_corruption_is_noop(self):
+        from repro.core import CommandType
+
+        fault = CommandCorruptionFault("top.channel", field="data",
+                                       mask=0x10)
+        seen = self._rig(fault, CommandType.read(0x40))
+        assert seen[0].address == 0x40
+        assert fault.activations == 0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultInjectionError, match="field"):
+            CommandCorruptionFault("x", field="parity")
+
+
+class TestFactory:
+    def test_registry_covers_all_models(self):
+        assert sorted(FAULT_KINDS) == [
+            "bit_flip", "command_corruption", "delayed_grant",
+            "dropped_request", "glitch", "stuck_at",
+        ]
+
+    def test_make_fault_dispatch(self):
+        fault = make_fault("stuck_at", "top.x", (0, 10), value=1)
+        assert isinstance(fault, StuckAtFault)
+        assert fault.value == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault kind"):
+            make_fault("gamma_ray", "top.x")
+
+    def test_describe_mentions_kind_and_window(self):
+        fault = make_fault("bit_flip", "top.bus.ad", (5, 9), bit=3)
+        assert "bit_flip" in fault.describe()
+        assert "[5, 9)" in fault.describe()

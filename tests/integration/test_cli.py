@@ -45,6 +45,78 @@ class TestCli:
         with open(vcd_path) as handle:
             assert "$enddefinitions" in handle.read()
 
+    def test_lint_through_main(self, capsys):
+        # Regression: the global --seed default (None) shadows the lint
+        # subcommand's own default in the shared argparse namespace.
+        assert main(["--commands", "4", "lint", "--target",
+                     "functional"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["no-such-command"])
+
+
+class TestSeedPlumbing:
+    def _output(self, argv, capsys):
+        import re
+
+        assert main(argv) == 0
+        # Wall-clock timings are the only legitimate run-to-run delta.
+        return re.sub(r"\d+\.\d+s", "<t>", capsys.readouterr().out)
+
+    def test_flow_seed_is_reproducible(self, capsys):
+        argv = ["--commands", "4", "--seed", "17", "flow"]
+        assert self._output(argv, capsys) == self._output(argv, capsys)
+
+    def test_flow_seed_changes_the_workload(self, capsys):
+        base = ["--commands", "4"]
+        assert self._output([*base, "--seed", "17", "flow"], capsys) \
+            != self._output([*base, "--seed", "18", "flow"], capsys)
+
+    def test_waveforms_seed_is_reproducible(self, capsys, tmp_path):
+        def dump(name):
+            path = str(tmp_path / name)
+            assert main(["--seed", "23", "waveforms", "--vcd", path]) == 0
+            capsys.readouterr()
+            with open(path) as handle:
+                return handle.read()
+
+        assert dump("a.vcd") == dump("b.vcd")
+
+
+class TestFaultCli:
+    def test_fault_campaign_table(self, capsys):
+        assert main(["fault", "--runs", "6", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign 'demo-pci'" in out
+        assert "detection coverage" in out
+
+    def test_fault_campaign_json(self, capsys):
+        import json
+
+        assert main(["--seed", "11", "fault", "--runs", "6",
+                     "--workers", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["campaign"] == "demo-pci"
+        assert data["seed"] == 11
+        assert len(data["outcomes"]) == 6
+
+    def test_fault_seed_reproducible(self, capsys):
+        def classifications():
+            assert main(["--seed", "31", "fault", "--runs", "6",
+                         "--workers", "1", "--json"]) == 0
+            import json
+
+            data = json.loads(capsys.readouterr().out)
+            return [(o["run_id"], o["classification"], o["window"])
+                    for o in data["outcomes"]]
+
+        assert classifications() == classifications()
+
+    def test_fault_lint_gate(self, capsys):
+        assert main(["fault", "--runs", "6", "--workers", "1",
+                     "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "detection coverage" in out

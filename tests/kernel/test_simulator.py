@@ -96,3 +96,71 @@ class TestTracing:
         sim.add_tracer(recorder)
         sim.remove_tracer(recorder)
         assert recorder not in sim._tracers
+
+
+class TestIdleRun:
+    def test_result_is_the_end_time_integer(self, sim):
+        Module(sim, "top")
+        result = sim.run_until_idle(100 * NS)
+        assert isinstance(result, int)
+        assert result == sim.time
+        assert result.quiescent
+        assert list(result.blocked_processes) == []
+
+    def test_blocked_guarded_call_is_reported(self, sim):
+        from repro.osss import GlobalObject, guarded_method
+
+        class Latch:
+            def __init__(self):
+                self.ready = False
+
+            @guarded_method(lambda self: self.ready)
+            def take(self):
+                return True
+
+        top = Module(sim, "top")
+        latch = GlobalObject(top, "latch", Latch)
+
+        def starved():
+            yield from latch.take()
+
+        sim.spawn(starved, "starved")
+        result = sim.run_until_idle(100 * NS)
+        assert not result.quiescent
+        blocked = result.blocked_processes
+        assert len(blocked) == 1
+        assert blocked[0].method == "take"
+        assert blocked[0].object_path == "top.latch"
+        # The live query agrees with the snapshot on the result.
+        assert [b.method for b in sim.blocked_processes()] == ["take"]
+
+
+class TestDetections:
+    def test_report_detection_records(self, sim):
+        sim.report_detection("top.monitor", "TRDY# without DEVSEL#")
+        assert len(sim.detections) == 1
+        record = sim.detections[0]
+        assert record.source == "top.monitor"
+        assert "TRDY#" in record.message
+        assert record.time == sim.time
+
+    def test_nonstrict_monitor_violation_is_still_a_detection(self, sim):
+        """The verify checkers feed detections even when not raising."""
+        from repro.verify import InvariantChecker
+
+        top = Module(sim, "top")
+        flag = top.signal("flag", width=1, init=0)
+        InvariantChecker(
+            top, "inv", flag, lambda v: v.to_int() == 0, strict=False
+        )
+
+        def writer():
+            from repro.kernel import Timeout
+            yield Timeout(10 * NS)
+            flag.write(1)
+            yield Timeout(10 * NS)
+
+        sim.spawn(writer, "w")
+        sim.run(50 * NS)
+        assert sim.detections
+        assert "inv" in sim.detections[0].source

@@ -128,6 +128,55 @@ class TestDiff:
         assert problems and "top.d" in problems[0]
 
 
+class TestGoldenVsFaulty:
+    """The fault classifier's use of the reader: dump a clean and an
+    infected session, parse both, and let ``diff_dumps`` name the
+    corrupted wire."""
+
+    def _session(self, with_fault=False):
+        from repro.fault import make_fault
+
+        sim = Simulator()
+        top = Module(sim, "top")
+        data = top.signal("data", width=8, init=0)
+        stream = io.StringIO()
+        tracer = VcdTracer(stream)
+        tracer.add_signal(data)
+        sim.add_tracer(tracer)
+
+        def drive():
+            for value in (0x11, 0x22, 0x44):
+                yield Timeout(10 * NS)
+                data.write(value)
+
+        sim.spawn(drive, "drive")
+        sim.elaborate()
+        if with_fault:
+            fault = make_fault(
+                "bit_flip", "top.data", (15 * NS, 35 * NS), bit=7
+            )
+            fault.arm(sim)
+        sim.run(100 * NS)
+        tracer.close(sim.time)
+        return stream.getvalue()
+
+    def test_faulty_dump_diverges_from_golden(self):
+        golden = parse_vcd(self._session())
+        faulty = parse_vcd(self._session(with_fault=True))
+        problems = diff_dumps(golden, faulty)
+        assert problems and "top.data" in problems[0]
+
+    def test_same_fault_reproduces_identical_dump(self):
+        assert self._session(with_fault=True) == \
+            self._session(with_fault=True)
+
+    def test_corrupted_value_visible_in_parsed_dump(self):
+        faulty = parse_vcd(self._session(with_fault=True))
+        values = [v for __, v in faulty.signal("top.data").changes]
+        # 0x22 committed at 20 ns gets bit 7 flipped -> 0xA2.
+        assert "10100010" in values
+
+
 class TestErrors:
     def test_unterminated_directive(self):
         with pytest.raises(SimulationError):
