@@ -1,0 +1,173 @@
+"""CI smoke: guarded-method call cost with instrumentation off vs on.
+
+Runs the ``bench_method_call_cost`` workload (concurrent clients calling
+one guarded method through a synthesized channel) twice — once with the
+null probe bus (the default) and once with a :class:`MetricsCollector`
+attached — and compares the *off* path against the checked-in baseline
+``benchmarks/instrument_baseline.json``.
+
+Wall-clock numbers are useless across machines, so the workload time is
+normalized by a pure-Python calibration loop timed on the same host: the
+stored baseline is "workload costs K calibration units", which is stable
+to within a few percent between runs and hosts of the same class.
+
+Usage::
+
+    python benchmarks/instrument_smoke.py            # compare (CI mode)
+    python benchmarks/instrument_smoke.py --update   # rewrite baseline
+
+Exit status 1 when the off-path normalized cost regresses past the
+tolerance (default 10%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.hdl import Clock, Module  # noqa: E402
+from repro.instrument import MetricsCollector  # noqa: E402
+from repro.kernel import MS, NS, Simulator  # noqa: E402
+from repro.osss import GlobalObject, connect, guarded_method  # noqa: E402
+from repro.synthesis import (  # noqa: E402
+    SynthesisConfig,
+    synthesize_communication,
+)
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "instrument_baseline.json")
+CLOCK_PERIOD = 10 * NS
+N_CLIENTS = 6
+CALLS_PER_CLIENT = 40
+REPEATS = 5
+CALIBRATION_LOOPS = 200_000
+
+
+class Accumulator:
+    def __init__(self):
+        self.total = 0
+
+    @guarded_method()
+    def add(self, n):
+        self.total += n
+        return self.total
+
+
+def _method_call_workload(instrumented: bool) -> float:
+    """One bench_method_call_cost-shaped run; returns wall seconds."""
+    sim = Simulator()
+    if instrumented:
+        MetricsCollector().attach(sim.probes)
+    clock = Clock(sim, "clock", period=CLOCK_PERIOD)
+    handles = []
+    for i in range(N_CLIENTS):
+        module = Module(sim, f"client{i}")
+        handles.append(GlobalObject(module, "acc", Accumulator))
+    connect(*handles)
+    synthesize_communication(sim, clock.clk, SynthesisConfig(emit_hdl=False))
+
+    finished = [0]
+
+    def make_client(handle):
+        def client():
+            for __ in range(CALLS_PER_CLIENT):
+                yield from handle.add(1)
+            finished[0] += 1
+            if finished[0] == N_CLIENTS:
+                sim.stop()
+        return client
+
+    for i, handle in enumerate(handles):
+        sim.spawn(make_client(handle), f"proc{i}")
+    started = time.perf_counter()
+    sim.run(100 * MS)
+    elapsed = time.perf_counter() - started
+    assert finished[0] == N_CLIENTS
+    return elapsed
+
+
+def _calibrate() -> float:
+    """Time a fixed pure-Python loop as the host-speed yardstick."""
+    acc = 0
+    started = time.perf_counter()
+    for i in range(CALIBRATION_LOOPS):
+        acc += i % 7
+    elapsed = time.perf_counter() - started
+    assert acc > 0
+    return elapsed
+
+
+def measure() -> dict:
+    calibration = min(_calibrate() for __ in range(REPEATS))
+    off = min(_method_call_workload(False) for __ in range(REPEATS))
+    on = min(_method_call_workload(True) for __ in range(REPEATS))
+    return {
+        "workload": {
+            "clients": N_CLIENTS,
+            "calls_per_client": CALLS_PER_CLIENT,
+            "calibration_loops": CALIBRATION_LOOPS,
+        },
+        "calibration_seconds": calibration,
+        "off_seconds": off,
+        "on_seconds": on,
+        "normalized_off": off / calibration,
+        "normalized_on": on / calibration,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed off-path slowdown vs baseline "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args(argv)
+
+    result = measure()
+    ratio = result["normalized_on"] / result["normalized_off"]
+    print(f"method-call workload ({N_CLIENTS} clients x "
+          f"{CALLS_PER_CLIENT} calls, best of {REPEATS}):")
+    print(f"  instrumentation off: {result['off_seconds'] * 1e3:8.2f} ms "
+          f"({result['normalized_off']:.2f} calibration units)")
+    print(f"  instrumentation on:  {result['on_seconds'] * 1e3:8.2f} ms "
+          f"({result['normalized_on']:.2f} calibration units, "
+          f"{ratio:.2f}x off)")
+
+    if args.update:
+        with open(args.baseline, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 1
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    reference = baseline["normalized_off"]
+    limit = reference * (1.0 + args.tolerance)
+    print(f"  baseline off: {reference:.2f} units, "
+          f"limit {limit:.2f} (+{args.tolerance:.0%})")
+    if result["normalized_off"] > limit:
+        print("FAIL: instrumentation-off hot path regressed "
+              f"({result['normalized_off']:.2f} > {limit:.2f})",
+              file=sys.stderr)
+        return 1
+    print("OK: off-path cost within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

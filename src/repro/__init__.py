@@ -17,7 +17,9 @@ The package provides:
 * :mod:`repro.verify` — pre/post-synthesis consistency checking,
   scoreboards and protocol monitors;
 * :mod:`repro.flow` — the end-to-end design flow of the paper's Figure 2;
-* :mod:`repro.trace` — VCD dumping and ASCII waveform rendering.
+* :mod:`repro.trace` — VCD dumping and ASCII waveform rendering;
+* :mod:`repro.instrument` — the probe bus shared by every observer, with
+  metrics aggregation and wall-clock profiling (zero cost when off).
 """
 
 from ._version import __version__

@@ -13,6 +13,9 @@ Commands:
   (``--strict``, ``--suppress RULE[@GLOB]``, ``--list-rules``).
 * ``fault``       — run a fault-injection campaign and print detection
   coverage (``--platform``, ``--runs``, ``--workers``, ``--json``).
+* ``profile``     — execute a script under the probe-bus profiler and
+  print hot processes, method histograms and a Chrome trace
+  (``--top``, ``--json``, ``--chrome-trace``).
 
 Every command honours the global ``--seed``: repeated invocations with
 the same seed are bit-identical.
@@ -128,6 +131,12 @@ def _cmd_fault(args: argparse.Namespace) -> int:
     return fault_cli.run(args)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .instrument import cli as instrument_cli
+
+    return instrument_cli.run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     bundle = build_pci_platform(
         _default_workloads(_effective_seed(args), args.commands),
@@ -174,6 +183,12 @@ def main(argv: "list[str] | None" = None) -> int:
     from .fault import cli as fault_cli
 
     fault_cli.add_arguments(fault)
+    profile = sub.add_parser(
+        "profile", help="profile a script under the probe bus"
+    )
+    from .instrument import cli as instrument_cli
+
+    instrument_cli.add_arguments(profile)
     args = parser.parse_args(argv)
     handlers = {
         "flow": _cmd_flow,
@@ -183,6 +198,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "lint": _cmd_lint,
         "report": _cmd_report,
         "fault": _cmd_fault,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -32,6 +32,7 @@ from ..flow.platforms import (
 )
 from ..hdl.resolved import ResolvedSignal
 from ..hdl.signal import Signal
+from ..instrument.metrics import DetectionLog
 from ..core.workload import generate_workload
 from ..osss.global_object import GlobalObject
 from .models import make_fault
@@ -178,6 +179,9 @@ def execute_run(
     bundle = build_campaign_platform(spec)
     sim = bundle.handle.sim
     sim.elaborate()
+    # The classifier is a bus subscriber like any other observer: it
+    # collects ``detection`` probes instead of scraping simulator state.
+    detections = DetectionLog().attach(sim.probes)
     fault = make_fault(run.kind, run.target_path, run.window, **run.params)
     classification = ERROR
     detail = ""
@@ -201,8 +205,8 @@ def execute_run(
         detail = f"{type(error).__name__}: {error}"
     else:
         image = bundle.memory.dump(0, spec.address_span // 4)
-        if sim.detections:
-            first = sim.detections[0]
+        if detections:
+            first = detections.records[0]
             classification = DETECTED
             detail = f"{first.source}: {first.message}"
         elif result.traces != golden.traces:
@@ -226,7 +230,7 @@ def execute_run(
         classification,
         detail,
         activations=fault.activations,
-        detections=len(sim.detections),
+        detections=len(detections),
         wall_seconds=_time.perf_counter() - started,
         sim_time=sim.time,
     )

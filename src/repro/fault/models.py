@@ -28,6 +28,7 @@ from ..errors import ReproError
 from ..hdl.bitvector import LogicVector
 from ..hdl.resolved import ResolvedSignal
 from ..hdl.signal import Signal
+from ..instrument.probes import FAULT_ACTIVATE
 from ..kernel.event import Event
 from ..kernel.simulator import Simulator
 from ..osss.global_object import GlobalObject
@@ -78,6 +79,16 @@ class FaultModel:
         return f"{self.kind} on {self.target_path} {window}"
 
     # -- helpers ------------------------------------------------------------
+
+    def _record_activation(self) -> None:
+        """Count one perturbation and publish it as a ``fault.activate``
+        probe when the target simulator carries a bus."""
+        self.activations += 1
+        sim = self._sim
+        if sim is not None:
+            probes = sim._probes
+            if probes is not None:
+                probes.emit(FAULT_ACTIVATE, sim.time, self)
 
     def _in_window(self) -> bool:
         if self.window is None:
@@ -183,14 +194,14 @@ class StuckAtFault(SignalFault):
                 if isinstance(signal, Signal):
                     signal._has_next = False
                     signal._delta_writer = None
-                self.activations += 1
+                self._record_activation()
                 _override_value(signal, stuck)
             return patched
 
         self._hook_update(signal, wrapper)
 
         def clamp() -> None:
-            self.activations += 1
+            self._record_activation()
             _override_value(signal, stuck)
 
         def release() -> None:
@@ -246,7 +257,7 @@ class BitFlipFault(SignalFault):
                 flipped = self._flip(signal.read(), signal.width)
                 if flipped is None:
                     return
-                self.activations += 1
+                self._record_activation()
                 _override_value(signal, flipped)
             return patched
 
@@ -291,7 +302,7 @@ class TransientGlitchFault(SignalFault):
 
         def strike() -> None:
             saved["value"] = signal.read()
-            self.activations += 1
+            self._record_activation()
             _override_value(signal, glitch)
 
         def restore() -> None:
@@ -354,7 +365,7 @@ class DelayedGrantFault(ChannelFault):
         def patched(method: str):
             descriptor = original(method)
             if self._in_window():
-                self.activations += 1
+                self._record_activation()
                 return _StalledDescriptor(descriptor)
             return descriptor
 
@@ -396,7 +407,7 @@ class DroppedRequestFault(ChannelFault):
                 and self._in_window()
                 and (self.method is None or request.method == self.method)
             ):
-                self.activations += 1
+                self._record_activation()
                 request.result = None
                 request.completed = True
                 request.complete_time = sim.time
@@ -474,7 +485,7 @@ class CommandCorruptionFault(ChannelFault):
             ):
                 corrupted = self._corrupt(request.args[0])
                 if corrupted is not None:
-                    self.activations += 1
+                    self._record_activation()
                     request.args = (corrupted,) + tuple(request.args[1:])
             original(request)
 

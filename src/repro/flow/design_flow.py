@@ -30,6 +30,7 @@ import typing
 
 from ..core.refinement import PlatformHandle, RunResult
 from ..errors import RefinementError, SynthesisError
+from ..instrument.probes import FLOW_STAGE, ProbeBus, default_bus
 from ..lint import LintConfig, LintReport, lint_design
 from ..verify.consistency import ConsistencyReport, check_traces
 
@@ -94,6 +95,8 @@ class DesignFlow:
         or without communication synthesis applied.
     :param lint_config: policy for the static design-rule stage
         (suppressions, strictness); default policy when ``None``.
+    :param probe_bus: bus that receives a ``flow.stage`` probe per
+        finished stage; falls back to the process-wide default bus.
     """
 
     def __init__(
@@ -102,27 +105,29 @@ class DesignFlow:
         functional_builder: FunctionalBuilder,
         implementation_builder: ImplementationBuilder,
         lint_config: LintConfig | None = None,
+        probe_bus: ProbeBus | None = None,
     ) -> None:
         self.specification = dict(specification)
         self.functional_builder = functional_builder
         self.implementation_builder = implementation_builder
         self.lint_config = lint_config
+        self._probe_bus = probe_bus
 
     def run(self, max_time: int) -> FlowReport:
         """Execute every stage; raises on hard failures."""
         name = str(self.specification.get("name", "unnamed-design"))
         report = FlowReport(name)
 
-        with _stage(report, "check specifications") as stage:
+        with _stage(report, self._probe_bus, "check specifications") as stage:
             if "name" not in self.specification:
                 raise RefinementError("specification must carry a 'name'")
             stage.detail = ", ".join(sorted(self.specification))
 
-        with _stage(report, "build + simulate functional model") as stage:
+        with _stage(report, self._probe_bus, "build + simulate functional model") as stage:
             report.functional_result = self.functional_builder().run(max_time)
             stage.detail = repr(report.functional_result)
 
-        with _stage(report, "static design-rule lint") as stage:
+        with _stage(report, self._probe_bus, "static design-rule lint") as stage:
             # Fresh builds: the stage-2 platforms have already been run,
             # and lint analyses a built-but-not-run design.
             lint = LintReport("flow")
@@ -141,12 +146,12 @@ class DesignFlow:
                     "design-rule violations block synthesis:\n" + lint.render()
                 )
 
-        with _stage(report, "refine communication (library swap)") as stage:
+        with _stage(report, self._probe_bus, "refine communication (library swap)") as stage:
             platform, __ = self.implementation_builder(False)
             report.implementation_result = platform.run(max_time)
             stage.detail = repr(report.implementation_result)
 
-        with _stage(report, "validate refinement") as stage:
+        with _stage(report, self._probe_bus, "validate refinement") as stage:
             assert report.functional_result and report.implementation_result
             report.refinement_check = check_traces(
                 report.functional_result.traces,
@@ -157,13 +162,13 @@ class DesignFlow:
             report.refinement_check.require_consistent()
             stage.detail = f"{report.refinement_check.compared_items} items equal"
 
-        with _stage(report, "communication synthesis") as stage:
+        with _stage(report, self._probe_bus, "communication synthesis") as stage:
             platform, synthesis = self.implementation_builder(True)
             report.synthesis_result = synthesis
             report.post_synthesis_result = platform.run(max_time)
             stage.detail = repr(report.post_synthesis_result)
 
-        with _stage(report, "post-synthesis validation") as stage:
+        with _stage(report, self._probe_bus, "post-synthesis validation") as stage:
             assert report.implementation_result and report.post_synthesis_result
             report.synthesis_check = check_traces(
                 report.implementation_result.traces,
@@ -180,8 +185,14 @@ class DesignFlow:
 class _stage:
     """Context manager recording one stage's outcome and wall time."""
 
-    def __init__(self, report: FlowReport, name: str) -> None:
+    def __init__(
+        self,
+        report: FlowReport,
+        bus: ProbeBus | None,
+        name: str,
+    ) -> None:
         self.report = report
+        self.bus = bus
         self.stage = FlowStage(name)
 
     def __enter__(self) -> FlowStage:
@@ -194,3 +205,11 @@ class _stage:
         self.stage.status = "ok" if exc_type is None else "FAIL"
         if exc is not None and not self.stage.detail:
             self.stage.detail = str(exc)
+        bus = self.bus if self.bus is not None else default_bus()
+        if bus is not None:
+            bus.emit(
+                FLOW_STAGE,
+                self.stage.name,
+                self.stage.status,
+                self.stage.wall_seconds,
+            )

@@ -108,4 +108,6 @@ class ResolvedSignal(UpdateTarget):
         self._value = resolved
         if self._changed is not None:
             self._changed.notify_delta()
-        self._sim._notify_trace(self, resolved)
+        probes = self._sim._probes
+        if probes is not None:
+            probes.signal_commit(self._scheduler._time, self, resolved)

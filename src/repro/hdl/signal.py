@@ -160,7 +160,12 @@ class Signal(UpdateTarget):
             return
         self._value = new
         self._fire_edges(old, new)
-        self._sim._notify_trace(self, new)
+        # Inline the signal-commit probe: this is the hottest observation
+        # point in the kernel, so it must cost one None check when no bus
+        # is attached.
+        probes = self._sim._probes
+        if probes is not None:
+            probes.signal_commit(self._scheduler._time, self, new)
 
     def _fire_edges(self, old: object, new: object) -> None:
         if self._changed is not None:

@@ -38,6 +38,9 @@ class Event:
         self._static_waiters: list["Process"] = []
         self._callbacks: list[typing.Callable[[], None]] = []
         self._pending_timed: bool = False
+        #: Set while queued for the next delta (O(1) dedup in
+        #: Scheduler._schedule_delta_event).
+        self._delta_pending: bool = False
 
     def __repr__(self) -> str:
         label = self.name or "<anonymous>"
@@ -88,6 +91,9 @@ class Event:
 
     def _trigger(self) -> None:
         """Make every waiter runnable; called by the scheduler or notify()."""
+        probes = self._scheduler._probes
+        if probes is not None:
+            probes.event_notify(self._scheduler._time, self)
         waiters, self._dynamic_waiters = self._dynamic_waiters, []
         for process in waiters:
             process._wake(self)

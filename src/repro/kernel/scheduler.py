@@ -26,6 +26,7 @@ from .process import Process
 from .simtime import check_delay, format_time
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..instrument.probes import ProbeBus
     from .signal_base import UpdateTarget
 
 
@@ -51,6 +52,9 @@ class Scheduler:
         self.running = False
         #: The process being evaluated right now (None between activations).
         self.current_process: Process | None = None
+        #: Probe bus attached by the owning Simulator; None keeps every
+        #: probe site on the single-truthiness-check fast path.
+        self._probes: "ProbeBus | None" = None
 
     # -- introspection ------------------------------------------------------
 
@@ -101,7 +105,11 @@ class Scheduler:
         self._runnable.append(process)
 
     def _schedule_delta_event(self, event: Event) -> None:
-        if event not in self._delta_events:
+        # O(1) dedup flag, mirroring request_update: a linear `in` scan
+        # over the pending list is quadratic when many events collapse
+        # into one delta.
+        if not event._delta_pending:
+            event._delta_pending = True
             self._delta_events.append(event)
 
     def _schedule_timed_event(self, event: Event, delay: int) -> None:
@@ -166,22 +174,39 @@ class Scheduler:
                     f"{self.time_str()}: probable zero-delay feedback loop"
                 )
             self._delta_count += 1
+            probes = self._probes
             # Evaluation phase.
-            while self._runnable:
-                process = self._runnable.popleft()
-                self.current_process = process
-                try:
-                    process._execute()
-                finally:
-                    self.current_process = None
+            if probes is not None:
+                probes.delta_begin(self._time, self._delta_count)
+                while self._runnable:
+                    process = self._runnable.popleft()
+                    self.current_process = process
+                    probes.process_activate(self._time, process)
+                    try:
+                        process._execute()
+                    finally:
+                        self.current_process = None
+                        probes.process_suspend(self._time, process)
+            else:
+                while self._runnable:
+                    process = self._runnable.popleft()
+                    self.current_process = process
+                    try:
+                        process._execute()
+                    finally:
+                        self.current_process = None
             # Update phase.
             updates, self._update_queue = self._update_queue, []
             for target in updates:
                 target._update_requested = False
                 target._perform_update()
-            # Delta notification phase.
+            # Delta notification phase. Clear the dedup flag before the
+            # trigger so a callback may re-notify for the next delta.
             events, self._delta_events = self._delta_events, []
             for event in events:
+                event._delta_pending = False
                 event._trigger()
+            if probes is not None:
+                probes.delta_end(self._time, self._delta_count)
             if self._stop_requested:
                 return

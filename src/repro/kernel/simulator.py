@@ -14,6 +14,8 @@ from __future__ import annotations
 import typing
 
 from ..errors import ElaborationError, SimulationError
+from ..instrument.metrics import DetectionLog
+from ..instrument.probes import DETECTION, SIGNAL_COMMIT, ProbeBus, default_bus
 from .event import Event
 from .process import Process
 from .scheduler import Scheduler
@@ -91,16 +93,30 @@ class IdleRun(int):
 
 
 class Simulator:
-    """One simulation context: scheduler + design hierarchy + tracing."""
+    """One simulation context: scheduler + design hierarchy + tracing.
 
-    def __init__(self, max_deltas_per_timestep: int = 10_000) -> None:
+    :param probe_bus: an optional :class:`~repro.instrument.ProbeBus` to
+        attach at construction. When omitted, the process-wide default
+        bus (:func:`repro.instrument.set_default_bus`) is attached if one
+        is installed; otherwise no bus is attached and every probe site
+        stays on its null fast path until :attr:`probes` is first used.
+    """
+
+    def __init__(
+        self,
+        max_deltas_per_timestep: int = 10_000,
+        probe_bus: "ProbeBus | None" = None,
+    ) -> None:
         self.scheduler = Scheduler(max_deltas_per_timestep)
         self._named: dict[str, object] = {}
         self._top_modules: list["Module"] = []
         self._tracers: list[typing.Any] = []
         self.elaborated = False
-        #: Checker/scoreboard/monitor firings (see :meth:`report_detection`).
-        self.detections: list[DetectionRecord] = []
+        self._detection_log = DetectionLog()
+        self._probes: ProbeBus | None = None
+        bus = probe_bus if probe_bus is not None else default_bus()
+        if bus is not None:
+            self.attach_probe_bus(bus)
 
     # -- time / control -------------------------------------------------------
 
@@ -178,20 +194,70 @@ class Simulator:
         for module in self._top_modules:
             module._end_of_elaboration()
 
+    # -- instrumentation -----------------------------------------------------------
+
+    @property
+    def probes(self) -> ProbeBus:
+        """This simulator's probe bus, created and attached on first use.
+
+        Reading this property is the supported way to subscribe an
+        observer; until it is read (and no bus was passed in or
+        installed as default), the kernel's probe sites stay on their
+        zero-cost null path.
+        """
+        if self._probes is None:
+            self.attach_probe_bus(ProbeBus())
+        assert self._probes is not None
+        return self._probes
+
+    def attach_probe_bus(self, bus: ProbeBus) -> ProbeBus:
+        """Attach *bus* to this simulator and its scheduler."""
+        self._probes = bus
+        self.scheduler._probes = bus
+        return bus
+
     # -- tracing ------------------------------------------------------------------
 
     def add_tracer(self, tracer: typing.Any) -> None:
-        """Attach a tracer (e.g. a VCD writer); it is told of value changes."""
+        """Attach a tracer (e.g. a VCD writer); it is told of value changes.
+
+        Internally this subscribes ``tracer.record_change`` to the
+        ``signal.commit`` probe; adding the same tracer twice is a no-op.
+        """
+        if tracer in self._tracers:
+            return
         self._tracers.append(tracer)
+        self.probes.subscribe(SIGNAL_COMMIT, tracer.record_change)
 
     def remove_tracer(self, tracer: typing.Any) -> None:
+        """Detach *tracer*; idempotent (unknown tracers are ignored)."""
+        if tracer not in self._tracers:
+            return
         self._tracers.remove(tracer)
+        if self._probes is not None:
+            self._probes.unsubscribe(SIGNAL_COMMIT, tracer.record_change)
 
     def _notify_trace(self, signal: typing.Any, value: typing.Any) -> None:
-        for tracer in self._tracers:
-            tracer.record_change(self.scheduler.time, signal, value)
+        """Publish an out-of-band value change (``force``, fault override).
+
+        Ordinary commits emit the probe inline from the update phase;
+        this shim exists for code that bypasses the staging machinery.
+        """
+        probes = self._probes
+        if probes is not None:
+            probes.signal_commit(self.scheduler.time, signal, value)
 
     # -- detection plumbing ------------------------------------------------------
+
+    @property
+    def detections(self) -> list[DetectionRecord]:
+        """Checker/scoreboard/monitor firings, in reporting order.
+
+        A thin view over this simulator's detection log; external
+        consumers (e.g. the fault classifier) subscribe to the
+        ``detection`` probe instead of scraping this list.
+        """
+        return self._detection_log.records
 
     def report_detection(self, source: str, message: str) -> None:
         """Record that a runtime checker fired.
@@ -199,11 +265,15 @@ class Simulator:
         Called by the verify checkers, scoreboards and bus monitors on
         every violation (strict or not), so the fault-injection
         classifier can tell *detected* misbehaviour apart from silent
-        corruption without depending on exception propagation.
+        corruption without depending on exception propagation. The
+        record lands in this simulator's own log and, when a probe bus
+        is attached, is published as a ``detection`` probe.
         """
-        self.detections.append(
-            DetectionRecord(source, message, self.scheduler.time)
-        )
+        record = DetectionRecord(source, message, self.scheduler.time)
+        self._detection_log.append(record)
+        probes = self._probes
+        if probes is not None:
+            probes.emit(DETECTION, record)
 
     # -- convenience ---------------------------------------------------------------
 

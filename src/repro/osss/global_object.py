@@ -22,6 +22,13 @@ from __future__ import annotations
 import typing
 
 from ..errors import ArbitrationError, GuardTimeoutError, SimulationError
+from ..instrument.probes import (
+    METHOD_CALL,
+    METHOD_COMPLETE,
+    METHOD_GRANT,
+    METHOD_GUARD_BLOCK,
+    METHOD_QUEUE,
+)
 from ..kernel.event import AnyOf, Event
 from ..kernel.process import Timeout
 from ..kernel.simulator import Simulator
@@ -89,9 +96,16 @@ class SharedStateSpace:
     # -- request handling ------------------------------------------------------
 
     def submit(self, request: MethodRequest) -> None:
-        self.descriptor(request.method)  # validate early
+        descriptor = self.descriptor(request.method)  # validate early
         self.pending.append(request)
         self.stats.total_requests += 1
+        probes = self.sim._probes
+        if probes is not None:
+            now = self.sim.scheduler.time
+            probes.emit(METHOD_CALL, now, self, request)
+            if self.busy or len(self.pending) > 1 or \
+                    not descriptor.guard_true(self.state):
+                probes.emit(METHOD_QUEUE, now, self, request)
         self._activity.notify()
 
     def cancel(self, request: MethodRequest) -> None:
@@ -116,6 +130,20 @@ class SharedStateSpace:
         if not descriptor.guard_true(self.state):
             return False, None
         result = descriptor.invoke(self.state, *args, **kwargs)
+        probes = self.sim._probes
+        if probes is not None:
+            now = self.sim.scheduler.time
+            request = MethodRequest(
+                client=client, method=method, args=args, kwargs=kwargs,
+                arrival_time=now, done_event=None,  # type: ignore[arg-type]
+            )
+            request.grant_time = now
+            request.complete_time = now
+            request.completed = True
+            request.result = result
+            probes.emit(METHOD_CALL, now, self, request)
+            probes.emit(METHOD_GRANT, now, self, request)
+            probes.emit(METHOD_COMPLETE, now, self, request)
         self._activity.notify()
         return True, result
 
@@ -130,6 +158,15 @@ class SharedStateSpace:
                 if self.descriptor(request.method).guard_true(self.state)
             ]
             if not eligible:
+                if self.pending:
+                    probes = self.sim._probes
+                    if probes is not None:
+                        probes.emit(
+                            METHOD_GUARD_BLOCK,
+                            scheduler.time,
+                            self,
+                            tuple(self.pending),
+                        )
                 yield self._activity
                 continue
             request = self.arbiter.select(eligible)
@@ -142,6 +179,9 @@ class SharedStateSpace:
             self.busy = True
             request.grant_time = scheduler.time
             self.stats.record_grant(request, scheduler.time)
+            probes = self.sim._probes
+            if probes is not None:
+                probes.emit(METHOD_GRANT, scheduler.time, self, request)
             if self.service_time > 0:
                 yield Timeout(self.service_time)
             descriptor = self.descriptor(request.method)
@@ -154,6 +194,9 @@ class SharedStateSpace:
             request.completed = True
             request.complete_time = scheduler.time
             self.stats.record_completion(request)
+            probes = self.sim._probes
+            if probes is not None:
+                probes.emit(METHOD_COMPLETE, scheduler.time, self, request)
             self.busy = False
             request.done_event.notify_delta()
             # One serviced call per delta: callers observe each state step.

@@ -13,6 +13,7 @@ from __future__ import annotations
 from ..errors import ProtocolError
 from ..hdl.module import Module
 from ..hdl.signal import Signal
+from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END
 from .constants import DEVSEL_TIMEOUT, READ_COMMANDS
 from .parity import parity_of_vectors
 from .signals import PciBus, is_asserted
@@ -107,6 +108,14 @@ class PciMonitor(Module):
                         cbe.to_int(), ad.to_int(), self.sim.time
                     )
                     self.transactions.append(self._current)
+                    probes = self.sim._probes
+                    if probes is not None:
+                        probes.emit(
+                            TRANSACTION_BEGIN,
+                            self.sim.time,
+                            self.path,
+                            self._current,
+                        )
                     self._devsel_seen = False
                     self._devsel_wait = 0
                 elif irdy:
@@ -163,6 +172,11 @@ class PciMonitor(Module):
     def _end_transaction(self) -> None:
         assert self._current is not None
         self._current.end_time = self.sim.time
+        probes = self.sim._probes
+        if probes is not None:
+            probes.emit(
+                TRANSACTION_END, self.sim.time, self.path, self._current
+            )
         self._current = None
 
     def _wait_idle(self):

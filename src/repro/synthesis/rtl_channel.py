@@ -29,6 +29,7 @@ import typing
 from ..errors import SynthesisError
 from ..hdl.module import Module
 from ..hdl.signal import Signal
+from ..instrument.probes import METHOD_CALL, METHOD_COMPLETE, METHOD_GRANT
 from ..kernel.event import Event
 from ..kernel.simulator import Simulator
 from ..osss.global_object import GlobalObject, SharedStateSpace
@@ -168,6 +169,9 @@ class RtlMethodChannel(Module):
             self.payload[index].write(request)
             self.req[index].write(1)
             self.space.stats.total_requests += 1
+            probes = self.sim._probes
+            if probes is not None:
+                probes.emit(METHOD_CALL, self.sim.time, self.space, request)
             while True:
                 yield self.clk.posedge
                 if self.done[index].read().to_int_default(0):
@@ -221,6 +225,9 @@ class RtlMethodChannel(Module):
                     assert current is not None
                     current.grant_time = self.sim.time
                     space.stats.record_grant(current, self.sim.time)
+                    probes = self.sim._probes
+                    if probes is not None:
+                        probes.emit(METHOD_GRANT, self.sim.time, space, current)
                     self.gnt[grant].write(1)
                     self.grant_sig.write(grant)
                     exec_counter = self.body_cycles
@@ -243,6 +250,11 @@ class RtlMethodChannel(Module):
                     current.completed = True
                     current.complete_time = self.sim.time
                     space.stats.record_completion(current)
+                    probes = self.sim._probes
+                    if probes is not None:
+                        probes.emit(
+                            METHOD_COMPLETE, self.sim.time, space, current
+                        )
                     self.result[grant].write(outcome)
                     self.done[grant].write(1)
                     state = ST_DONE

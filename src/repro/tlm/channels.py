@@ -11,6 +11,7 @@ import typing
 from collections import deque
 
 from ..errors import SimulationError
+from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END
 from ..kernel.event import Event
 from ..kernel.simulator import Simulator
 
@@ -89,13 +90,22 @@ class ReqRspChannel:
     """A paired request/response channel for master/slave TLM models."""
 
     def __init__(self, sim: Simulator, name: str = "reqrsp", capacity: int = 1) -> None:
+        self.sim = sim
+        self.name = name
         self.requests = TlmFifo(sim, f"{name}.req", capacity)
         self.responses = TlmFifo(sim, f"{name}.rsp", capacity)
 
     def transport(self, request: object):
         """Master side: send *request*, block for the matching response."""
+        probes = self.sim._probes
+        if probes is not None:
+            probes.emit(TRANSACTION_BEGIN, self.sim.time, self.name, request)
         yield from self.requests.put(request)
         response = yield from self.responses.get()
+        if probes is not None:
+            # The end probe carries the *request* payload so begin/end
+            # pair up for duration accounting.
+            probes.emit(TRANSACTION_END, self.sim.time, self.name, request)
         return response
 
     def serve(self, handler: typing.Callable[[object], object]):

@@ -8,7 +8,7 @@ from .consistency import (
     check_traces,
     compare_streams,
 )
-from .coverage import CoverageCollector, CoverPoint
+from .coverage import CoverageCollector, CoverPoint, ProbeCoverage
 from .scoreboard import Scoreboard, check_memory_image
 from .stats import LatencySummary, PlatformStats, percentile
 
@@ -21,6 +21,7 @@ __all__ = [
     "CoverageCollector",
     "InvariantChecker",
     "OneHotChecker",
+    "ProbeCoverage",
     "Scoreboard",
     "check_bus_transactions",
     "check_memory_image",

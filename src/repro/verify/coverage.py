@@ -106,3 +106,56 @@ class CoverageCollector:
                 + (f", holes: {point.holes()}" if point.holes() else "")
             )
         return "\n".join(lines)
+
+
+class ProbeCoverage:
+    """Samples coverpoints straight off the probe bus.
+
+    Instead of sprinkling ``collector.sample(...)`` calls through the
+    testbench, bind a coverpoint to a probe kind with an extractor that
+    maps the probe payload to a bin value (return ``None`` to skip the
+    emission)::
+
+        cov = CoverageCollector("bus")
+        cov.add_point("burst", [1, 2, 4])
+        ProbeCoverage(cov).cover(
+            TRANSACTION_END, "burst",
+            lambda time, source, txn: txn.word_count,
+        ).attach(sim.probes)
+    """
+
+    def __init__(self, collector: CoverageCollector) -> None:
+        self.collector = collector
+        self._bindings: list[tuple[str, typing.Callable]] = []
+        self._bus = None
+
+    def cover(
+        self,
+        kind: str,
+        point: str,
+        extractor: typing.Callable[..., object],
+    ) -> "ProbeCoverage":
+        if self._bus is not None:
+            raise CoverageError("add bindings before attach()")
+        self.collector.point(point)  # fail early on unknown points
+
+        def sampler(*args, _point=point, _extract=extractor):
+            value = _extract(*args)
+            if value is not None:
+                self.collector.sample(_point, value)
+
+        self._bindings.append((kind, sampler))
+        return self
+
+    def attach(self, bus) -> "ProbeCoverage":
+        for kind, sampler in self._bindings:
+            bus.subscribe(kind, sampler)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        for kind, sampler in self._bindings:
+            self._bus.unsubscribe(kind, sampler)
+        self._bus = None

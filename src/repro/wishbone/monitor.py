@@ -5,6 +5,7 @@ from __future__ import annotations
 from ..errors import ProtocolError
 from ..hdl.module import Module
 from ..hdl.signal import Signal
+from ..instrument.probes import TRANSACTION_END
 from .signals import WishboneBus
 
 
@@ -93,9 +94,13 @@ class WishboneMonitor(Module):
                     self._violation("ACK with undefined data")
                     continue
                 data = value.to_int()
-            self.transfers.append(
-                WishboneTransfer(
-                    adr.to_int(), is_write, data, sel, self.sim.time,
-                    "ack" if ack else "err",
-                )
+            transfer = WishboneTransfer(
+                adr.to_int(), is_write, data, sel, self.sim.time,
+                "ack" if ack else "err",
             )
+            self.transfers.append(transfer)
+            # Wishbone classic cycles terminate in the cycle they are
+            # observed; only the end probe is meaningful.
+            probes = self.sim._probes
+            if probes is not None:
+                probes.emit(TRANSACTION_END, self.sim.time, self.path, transfer)

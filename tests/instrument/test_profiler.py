@@ -1,0 +1,176 @@
+"""Wall-clock profiler: deterministic attribution with a fake clock."""
+
+import json
+
+import pytest
+
+from repro.hdl.module import Module
+from repro.instrument import ProbeBus, WallClockProfiler
+from repro.kernel import NS, Simulator, Timeout
+
+
+class FakeClock:
+    """Manually-advanced clock so wall attribution is deterministic."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class _Process:
+    def __init__(self, name):
+        self.name = name
+
+
+def _profiled_bus():
+    bus = ProbeBus()
+    clock = FakeClock()
+    profiler = WallClockProfiler(clock=clock).attach(bus)
+    return bus, clock, profiler
+
+
+class TestAttribution:
+    def test_wall_time_attributed_per_process(self):
+        bus, clock, profiler = _profiled_bus()
+        fast, slow = _Process("top.fast"), _Process("top.slow")
+
+        bus.delta_begin(0, 0)
+        bus.process_activate(0, fast)
+        clock.advance(0.5)
+        bus.process_suspend(0, fast)
+        bus.process_activate(0, slow)
+        clock.advance(2.0)
+        bus.process_suspend(0, slow)
+        bus.delta_end(0, 0)
+
+        report = profiler.report()
+        assert report.total_seconds == 2.5
+        ranked = report.hot_processes()
+        assert [p.name for p in ranked] == ["top.slow", "top.fast"]
+        assert ranked[0].wall_seconds == 2.0
+        assert ranked[0].activations == 1
+        assert ranked[0].mean_seconds == 2.0
+
+    def test_delta_hotspots_accumulate_per_sim_time(self):
+        bus, clock, profiler = _profiled_bus()
+        proc = _Process("top.p")
+        for delta in range(3):  # three deltas at the same instant
+            bus.delta_begin(100, delta)
+            bus.process_activate(100, proc)
+            clock.advance(0.25)
+            bus.process_suspend(100, proc)
+            bus.delta_end(100, delta)
+        bus.delta_begin(200, 0)
+        bus.delta_end(200, 0)
+
+        report = profiler.report()
+        assert report.total_deltas == 4
+        top = report.delta_hotspots(1)[0]
+        assert top.sim_time == 100
+        assert top.deltas == 3
+        assert top.wall_seconds == 0.75
+
+    def test_stale_suspend_without_activate_ignored(self):
+        bus, __, profiler = _profiled_bus()
+        bus.process_suspend(0, _Process("top.orphan"))  # must not raise
+        assert profiler.report().processes == []
+
+    def test_detach_stops_collection_and_is_idempotent(self):
+        bus, clock, profiler = _profiled_bus()
+        profiler.detach()
+        profiler.detach()  # again: no raise
+        proc = _Process("top.p")
+        bus.process_activate(0, proc)
+        clock.advance(1.0)
+        bus.process_suspend(0, proc)
+        assert profiler.report().total_seconds == 0.0
+
+
+class TestChromeTrace:
+    def test_trace_events_are_complete_slices(self):
+        bus, clock, profiler = _profiled_bus()
+        proc = _Process("top.worker")
+        clock.advance(1.0)  # origin offset
+        bus.process_activate(40, proc)
+        clock.advance(0.002)
+        bus.process_suspend(40, proc)
+
+        (event,) = profiler.report().trace_events
+        assert event["name"] == "top.worker"
+        assert event["ph"] == "X"
+        assert event["cat"] == "process"
+        assert event["ts"] == 1.0 * 1e6  # microseconds since origin
+        assert event["dur"] == pytest.approx(0.002 * 1e6)
+        assert event["args"] == {"sim_time_fs": 40}
+
+    def test_trace_cap_drops_and_reports(self, monkeypatch):
+        import repro.instrument.profiler as profiler_mod
+
+        monkeypatch.setattr(profiler_mod, "MAX_TRACE_EVENTS", 2)
+        bus, clock, profiler = _profiled_bus()
+        proc = _Process("top.p")
+        for __ in range(5):
+            bus.process_activate(0, proc)
+            clock.advance(0.001)
+            bus.process_suspend(0, proc)
+        report = profiler.report()
+        assert len(report.trace_events) == 2
+        assert report.dropped_events == 3
+        assert "dropped" in report.render()
+
+    def test_write_chrome_trace(self, tmp_path):
+        bus, clock, profiler = _profiled_bus()
+        proc = _Process("top.p")
+        bus.process_activate(0, proc)
+        clock.advance(0.001)
+        bus.process_suspend(0, proc)
+        path = tmp_path / "trace.json"
+        profiler.report().write_chrome_trace(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"][0]["name"] == "top.p"
+        assert payload["otherData"]["dropped_events"] == 0
+
+
+class _Counter(Module):
+    def __init__(self, parent, name):
+        super().__init__(parent, name)
+        self.clk = self.signal("clk", width=1, init=0)
+        self.thread(self._tick, "tick")
+
+    def _tick(self):
+        while True:
+            yield Timeout(10 * NS)
+            self.clk.write(1 - self.clk.read().to_int())
+
+
+class TestAgainstKernel:
+    def test_profiles_a_real_run(self):
+        sim = Simulator()
+        _Counter(sim, "top")
+        profiler = WallClockProfiler().attach(sim.probes)
+        sim.run(100 * NS)
+        report = profiler.report()
+        assert report.total_deltas == sim.delta_count
+        names = {p.name for p in report.processes}
+        assert "top.tick" in names
+        tick = next(p for p in report.processes if p.name == "top.tick")
+        # Initial activation at elaboration + one per clock edge.
+        assert tick.activations == 11
+        assert report.total_seconds >= 0.0
+        rendered = report.render()
+        assert "hot processes" in rendered
+        assert "top.tick" in rendered
+
+    def test_report_round_trips_through_json(self):
+        sim = Simulator()
+        _Counter(sim, "top")
+        profiler = WallClockProfiler().attach(sim.probes)
+        sim.run(50 * NS)
+        payload = json.loads(json.dumps(profiler.report().to_dict()))
+        assert payload["total_deltas"] == sim.delta_count
+        assert payload["processes"][0]["activations"] >= 1

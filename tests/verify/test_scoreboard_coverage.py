@@ -121,3 +121,56 @@ class TestCoverage:
             collector.sample("unknown", 1)
         with pytest.raises(CoverageError):
             collector.point("unknown")
+
+
+class TestProbeCoverage:
+    def _bound(self):
+        from repro.instrument import TRANSACTION_END, ProbeBus
+        from repro.verify import ProbeCoverage
+
+        bus = ProbeBus()
+        collector = CoverageCollector("bus")
+        collector.add_point("burst", [1, 2, 4])
+        sampler = ProbeCoverage(collector).cover(
+            TRANSACTION_END, "burst", lambda time, source, words: words
+        )
+        return bus, collector, sampler, TRANSACTION_END
+
+    def test_samples_from_probe_emissions(self):
+        bus, collector, sampler, kind = self._bound()
+        sampler.attach(bus)
+        bus.emit(kind, 100, "top.monitor", 1)
+        bus.emit(kind, 200, "top.monitor", 4)
+        point = collector.point("burst")
+        assert point.covered_bins == 2
+        assert point.holes() == [2]
+
+    def test_none_extraction_skips_sample(self):
+        bus, collector, sampler, kind = self._bound()
+        sampler.attach(bus)
+        bus.emit(kind, 100, "top.monitor", None)
+        assert collector.point("burst").covered_bins == 0
+        assert collector.point("burst").others == 0
+
+    def test_detach_stops_sampling(self):
+        bus, collector, sampler, kind = self._bound()
+        sampler.attach(bus)
+        sampler.detach()
+        sampler.detach()  # idempotent
+        bus.emit(kind, 100, "top.monitor", 1)
+        assert collector.point("burst").covered_bins == 0
+
+    def test_unknown_point_rejected_at_bind_time(self):
+        from repro.instrument import TRANSACTION_END, ProbeBus
+        from repro.verify import ProbeCoverage
+
+        collector = CoverageCollector()
+        with pytest.raises(CoverageError):
+            ProbeCoverage(collector).cover(
+                TRANSACTION_END, "nope", lambda *a: 1
+            )
+        collector.add_point("p", [1])
+        sampler = ProbeCoverage(collector)
+        sampler.attach(ProbeBus())
+        with pytest.raises(CoverageError):
+            sampler.cover(TRANSACTION_END, "p", lambda *a: 1)
