@@ -33,7 +33,11 @@ if os.path.join(_ROOT, "src") not in sys.path:
     sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from repro.hdl import Clock, Module  # noqa: E402
-from repro.instrument import MetricsCollector  # noqa: E402
+from repro.instrument import (  # noqa: E402
+    EVENT_NOTIFY,
+    PROCESS_ACTIVATE,
+    MetricsCollector,
+)
 from repro.kernel import MS, NS, Simulator  # noqa: E402
 from repro.osss import GlobalObject, connect, guarded_method  # noqa: E402
 from repro.synthesis import (  # noqa: E402
@@ -63,8 +67,23 @@ class Accumulator:
 def _method_call_workload(instrumented: bool) -> float:
     """One bench_method_call_cost-shaped run; returns wall seconds."""
     sim = Simulator()
+    causes = [0, 0]
     if instrumented:
         MetricsCollector().attach(sim.probes)
+        # The causal-edge payloads ride the same probes: count them so
+        # the smoke also covers the cause field end to end.
+        sim.probes.subscribe(
+            EVENT_NOTIFY,
+            lambda t, e, cause=None: causes.__setitem__(
+                0, causes[0] + (cause is not None)
+            ),
+        )
+        sim.probes.subscribe(
+            PROCESS_ACTIVATE,
+            lambda t, p, cause=None: causes.__setitem__(
+                1, causes[1] + (cause is not None)
+            ),
+        )
     clock = Clock(sim, "clock", period=CLOCK_PERIOD)
     handles = []
     for i in range(N_CLIENTS):
@@ -90,6 +109,9 @@ def _method_call_workload(instrumented: bool) -> float:
     sim.run(100 * MS)
     elapsed = time.perf_counter() - started
     assert finished[0] == N_CLIENTS
+    if instrumented:
+        assert causes[0] > 0, "no event.notify probe carried a cause"
+        assert causes[1] > 0, "no process.activate probe carried a cause"
     return elapsed
 
 

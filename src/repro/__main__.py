@@ -16,6 +16,9 @@ Commands:
 * ``profile``     — execute a script under the probe-bus profiler and
   print hot processes, method histograms and a Chrome trace
   (``--top``, ``--json``, ``--chrome-trace``).
+* ``spans``       — causal transaction tracing: span trees with latency
+  attribution and critical paths over a script, or a per-transaction
+  cross-refinement diff (``--diff A B``, ``--json``, ``--chrome``).
 
 Every command honours the global ``--seed``: repeated invocations with
 the same seed are bit-identical.
@@ -137,6 +140,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return instrument_cli.run(args)
 
 
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from .trace import cli as trace_cli
+
+    return trace_cli.run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     bundle = build_pci_platform(
         _default_workloads(_effective_seed(args), args.commands),
@@ -189,6 +198,12 @@ def main(argv: "list[str] | None" = None) -> int:
     from .instrument import cli as instrument_cli
 
     instrument_cli.add_arguments(profile)
+    spans = sub.add_parser(
+        "spans", help="causal transaction tracing and refinement diffs"
+    )
+    from .trace import cli as trace_cli
+
+    trace_cli.add_arguments(spans)
     args = parser.parse_args(argv)
     handlers = {
         "flow": _cmd_flow,
@@ -199,6 +214,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "report": _cmd_report,
         "fault": _cmd_fault,
         "profile": _cmd_profile,
+        "spans": _cmd_spans,
     }
     return handlers[args.command](args)
 

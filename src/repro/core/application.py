@@ -34,6 +34,8 @@ class TransactionRecord:
         self.response = response
         self.issue_time = issue_time
         self.complete_time = complete_time
+        #: Correlation id of the issuing perform() (set by Application).
+        self.corr_id: str | None = None
 
     @property
     def latency(self) -> int:
@@ -76,6 +78,7 @@ class Application(Module):
         self.records: list[TransactionRecord] = []
         self.finished = self.event("finished")
         self.done = False
+        self._corr_seq = 0
         self.thread(self._run, "application")
 
     # -- trace access ---------------------------------------------------------
@@ -106,11 +109,17 @@ class Application(Module):
         returns the :class:`TransactionRecord`.
         """
         issue_time = self.sim.time
+        # Correlation id: deterministic per (application path, sequence
+        # number), so the same workload replayed at another refinement
+        # level yields span-for-span matchable ids.
+        command.corr_id = f"{self.path}#{self._corr_seq}"
+        self._corr_seq += 1
         yield from self.bus_port.call("put_command", command)
         response: DataType | None = None
         if command.is_read:
             response = yield from self.bus_port.call("app_data_get")
         record = TransactionRecord(command, response, issue_time, self.sim.time)
+        record.corr_id = command.corr_id
         self.records.append(record)
         return record
 

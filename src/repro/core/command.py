@@ -47,6 +47,13 @@ class CommandType:
         self.kind = kind
         self.address = address
         self.byte_enables = byte_enables
+        #: Correlation id threaded from the issuing application down to
+        #: the pin level (set by Application.perform; deterministic for a
+        #: given workload, so spec and RTL runs can be matched span by
+        #: span). Not part of the observable signature.
+        self.corr_id: str | None = None
+        #: Stable id for transaction probe pairing (functional interface).
+        self.txn_id: int | None = None
         if kind == WRITE:
             if not data:
                 raise ProtocolError("write command needs data words")
@@ -85,18 +92,21 @@ class CommandType:
     def to_pci_operation(self) -> PciOperation:
         """Lower to the pin-level operation the PCI master executes."""
         if self.is_write:
-            return PciOperation(
+            operation = PciOperation(
                 CMD_MEM_WRITE,
                 self.address,
                 data=self.data,
                 byte_enables=self.byte_enables,
             )
-        return PciOperation(
-            CMD_MEM_READ,
-            self.address,
-            count=self.count,
-            byte_enables=self.byte_enables,
-        )
+        else:
+            operation = PciOperation(
+                CMD_MEM_READ,
+                self.address,
+                count=self.count,
+                byte_enables=self.byte_enables,
+            )
+        operation.corr_id = self.corr_id
+        return operation
 
     def signature(self) -> tuple:
         """Observable content, used in trace comparison."""
@@ -124,6 +134,9 @@ class DataType:
     def __init__(self, data: typing.Sequence[int], status: str = "ok") -> None:
         self.data: list[int] = list(data)
         self.status = status
+        #: Correlation id of the command this response answers (threaded
+        #: back by the bus interface; not part of the signature).
+        self.corr_id: str | None = None
 
     @property
     def ok(self) -> bool:

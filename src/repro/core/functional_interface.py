@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..errors import SimulationError
 from ..hdl.module import Module
+from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END, new_txn_id
 from ..kernel.process import Timeout
 from ..kernel.simulator import Simulator
 from ..osss.arbiter import Arbiter
@@ -56,6 +57,12 @@ class FunctionalBusInterface(BusInterface):
     def _dispatch(self):
         while True:
             epoch, command = yield from self.channel.call("get_command")
+            probes = self.sim._probes
+            if probes is not None:
+                # Each service gets a fresh id (the same CommandType may
+                # be replayed by a repeating application).
+                command.txn_id = new_txn_id()
+                probes.emit(TRANSACTION_BEGIN, self.sim.time, self.path, command)
             if self.word_latency:
                 yield Timeout(self.word_latency * command.count)
             if command.is_write:
@@ -64,12 +71,17 @@ class FunctionalBusInterface(BusInterface):
                         command.address + 4 * offset, word, command.byte_enables
                     )
                 self.words_transferred += command.count
+                if probes is not None:
+                    probes.emit(TRANSACTION_END, self.sim.time, self.path, command)
             else:
                 words = [
                     self.target.read_word(command.address + 4 * i)
                     for i in range(command.count)
                 ]
                 self.words_transferred += command.count
+                if probes is not None:
+                    probes.emit(TRANSACTION_END, self.sim.time, self.path, command)
                 response = DataType(words, "ok")
+                response.corr_id = command.corr_id
                 yield from self.channel.call("put_response", epoch, response)
             self.commands_serviced += 1

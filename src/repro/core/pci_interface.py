@@ -69,4 +69,5 @@ class PciBusInterface(BusInterface):
                 self.operations_failed += 1
             if command.is_read:
                 response = DataType(operation.data, operation.status)
+                response.corr_id = operation.corr_id
                 yield from self.channel.call("put_response", epoch, response)

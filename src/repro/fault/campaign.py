@@ -35,6 +35,8 @@ from ..hdl.signal import Signal
 from ..instrument.metrics import DetectionLog
 from ..core.workload import generate_workload
 from ..osss.global_object import GlobalObject
+from ..trace.attribution import attribute
+from ..trace.spans import SpanTracer
 from .models import make_fault
 from .spec import CampaignSpec, RunSpec, expand_campaign
 
@@ -87,6 +89,8 @@ class RunOutcome:
         detections: int = 0,
         wall_seconds: float = 0.0,
         sim_time: int = 0,
+        spans_assembled: int = 0,
+        span_mean_latency: int = 0,
     ) -> None:
         self.run_id = run_id
         self.kind = kind
@@ -98,6 +102,9 @@ class RunOutcome:
         self.detections = detections
         self.wall_seconds = wall_seconds
         self.sim_time = sim_time
+        #: Populated when the campaign runs with ``trace_spans=True``.
+        self.spans_assembled = spans_assembled
+        self.span_mean_latency = span_mean_latency
 
     def __repr__(self) -> str:
         return (
@@ -117,6 +124,8 @@ class RunOutcome:
             "detections": self.detections,
             "wall_seconds": round(self.wall_seconds, 6),
             "sim_time": self.sim_time,
+            "spans_assembled": self.spans_assembled,
+            "span_mean_latency": self.span_mean_latency,
         }
 
 
@@ -182,6 +191,13 @@ def execute_run(
     # The classifier is a bus subscriber like any other observer: it
     # collects ``detection`` probes instead of scraping simulator state.
     detections = DetectionLog().attach(sim.probes)
+    # Span tracing works inside pool workers exactly like detections do:
+    # the worker rebuilds the platform and re-attaches subscribers, so
+    # serial and parallel campaigns produce identical span statistics.
+    tracer = (
+        SpanTracer(causal=False).attach(sim.probes)
+        if spec.trace_spans else None
+    )
     fault = make_fault(run.kind, run.target_path, run.window, **run.params)
     classification = ERROR
     detail = ""
@@ -222,6 +238,12 @@ def execute_run(
                 if fault.activations
                 else "fault never activated"
             )
+    spans_assembled = 0
+    span_mean_latency = 0
+    if tracer is not None:
+        report = attribute(tracer.finalize())
+        spans_assembled = len(report)
+        span_mean_latency = int(report.mean_latency)
     return RunOutcome(
         run.run_id,
         run.kind,
@@ -233,6 +255,8 @@ def execute_run(
         detections=len(detections),
         wall_seconds=_time.perf_counter() - started,
         sim_time=sim.time,
+        spans_assembled=spans_assembled,
+        span_mean_latency=span_mean_latency,
     )
 
 

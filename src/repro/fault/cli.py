@@ -39,6 +39,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--lint", action="store_true",
         help="also run the campaign lint rules (FLT001) before executing",
     )
+    parser.add_argument(
+        "--trace-spans", action="store_true",
+        help="attach a span tracer to every run and report per-run "
+             "span counts and mean latencies",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -47,6 +52,7 @@ def run(args: argparse.Namespace) -> int:
         platform=args.platform, seed=seed, runs=args.runs
     )
     spec.wall_timeout = args.timeout
+    spec.trace_spans = args.trace_spans
     if args.lint:
         from ..lint import lint_campaign
 

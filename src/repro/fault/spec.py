@@ -85,6 +85,7 @@ class CampaignSpec:
         address_span: int = 0x100,
         write_fraction: float = 0.6,
         think_time: int = 0,
+        trace_spans: bool = False,
     ) -> None:
         if platform not in PLATFORMS:
             raise FaultInjectionError(
@@ -105,6 +106,10 @@ class CampaignSpec:
         #: fs between an application's commands; >0 leaves idle bus
         #: cycles so idle-time faults are exercised too.
         self.think_time = think_time
+        #: attach a SpanTracer to every run (golden and faulty) and
+        #: report per-run span counts/latencies on the outcomes. The
+        #: spec is picklable, so parallel workers trace identically.
+        self.trace_spans = trace_spans
 
     def workload_seeds(self) -> list[int]:
         return [self.seed + i for i in range(self.n_apps)]

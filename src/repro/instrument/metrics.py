@@ -222,7 +222,7 @@ class MetricsCollector:
         self.fault_activations = Counter()
         self.detections = 0
         self.flow_stages: list[tuple[str, str, float]] = []
-        self._open_transactions: dict[tuple[str, int], int] = {}
+        self._open_transactions: dict[tuple[str, object], int] = {}
         self._bus: ProbeBus | None = None
 
     # -- wiring ------------------------------------------------------------
@@ -262,10 +262,14 @@ class MetricsCollector:
     def _on_delta_begin(self, time: int, delta_index: int) -> None:
         self.deltas += 1
 
-    def _on_event_notify(self, time: int, event: object) -> None:
+    def _on_event_notify(
+        self, time: int, event: object, cause: object = None
+    ) -> None:
         self.events_notified += 1
 
-    def _on_process_activate(self, time: int, process: object) -> None:
+    def _on_process_activate(
+        self, time: int, process: object, cause: object = None
+    ) -> None:
         self.process_activations.add(getattr(process, "name", repr(process)))
 
     def _on_signal_commit(self, time: int, signal: object, value: object) -> None:
@@ -309,12 +313,19 @@ class MetricsCollector:
         if arrival is not None:
             record.total_times.add(complete - arrival)
 
+    @staticmethod
+    def _txn_key(source: str, payload: object) -> tuple[str, object]:
+        # Prefer the stable txn_id stamped on transaction payloads; fall
+        # back to object identity for payloads that predate it.
+        txn_id = getattr(payload, "txn_id", None)
+        return (source, txn_id if txn_id is not None else id(payload))
+
     def _on_transaction_begin(self, time: int, source: str, payload: object) -> None:
-        self._open_transactions[(source, id(payload))] = time
+        self._open_transactions[self._txn_key(source, payload)] = time
 
     def _on_transaction_end(self, time: int, source: str, payload: object) -> None:
         self.transactions.add(source)
-        begin = self._open_transactions.pop((source, id(payload)), None)
+        begin = self._open_transactions.pop(self._txn_key(source, payload), None)
         if begin is not None:
             histogram = self.transaction_times.get(source)
             if histogram is None:

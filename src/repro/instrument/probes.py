@@ -11,11 +11,16 @@ Probe-point catalogue (positional callback signatures):
 ===================== =========================================================
 kind                  callback arguments
 ===================== =========================================================
-``process.activate``  ``(time, process)`` — a process starts one activation
+``process.activate``  ``(time, process, cause)`` — a process starts one
+                      activation; ``cause`` is the :class:`Event` that
+                      woke it (``None`` for the initial activation)
 ``process.suspend``   ``(time, process)`` — the activation returned / waited
 ``delta.begin``       ``(time, delta_index)`` — a delta cycle starts
 ``delta.end``         ``(time, delta_index)`` — the delta cycle finished
-``event.notify``      ``(time, event)`` — an event triggered its waiters
+``event.notify``      ``(time, event, cause)`` — an event triggered its
+                      waiters; ``cause`` is the :class:`Process` that
+                      requested the notification (``None`` when notified
+                      from outside any process context)
 ``signal.commit``     ``(time, signal, value)`` — a committed value change
 ``method.call``       ``(time, space, request)`` — guarded call submitted
 ``method.queue``      ``(time, space, request)`` — the call could not be
@@ -26,7 +31,10 @@ kind                  callback arguments
                       no guard is true; the server blocks
 ``method.complete``   ``(time, space, request)`` — the method body returned
 ``transaction.begin`` ``(time, source, payload)`` — a bus/TLM transaction
-                      opened (``source`` is a hierarchical path string)
+                      opened (``source`` is a hierarchical path string;
+                      the payload carries a process-wide unique
+                      ``txn_id`` from :func:`new_txn_id` so begin/end
+                      pair reliably across layers)
 ``transaction.end``   ``(time, source, payload)`` — the transaction closed
 ``flow.stage``        ``(name, status, wall_seconds)`` — a design-flow stage
                       finished (wall-clock, not simulation time)
@@ -44,6 +52,7 @@ the dedicated ``ProbeBus`` emit helpers; cold paths use the generic
 
 from __future__ import annotations
 
+import itertools
 import typing
 
 PROCESS_ACTIVATE = "process.activate"
@@ -89,6 +98,16 @@ _KIND_ATTR: dict[str, str] = {
 }
 
 Callback = typing.Callable[..., None]
+
+#: Process-wide transaction-id sequence shared by every emitter of
+#: ``transaction.begin``/``transaction.end`` payloads, so ids are unique
+#: across buses, TLM channels and abstraction layers within one run.
+_txn_ids = itertools.count(1)
+
+
+def new_txn_id() -> int:
+    """Allocate the next process-wide unique transaction id."""
+    return next(_txn_ids)
 
 
 class ProbeError(ValueError):
@@ -178,11 +197,13 @@ class ProbeBus:
     # Dedicated helpers for the kernel's hot paths: one attribute load
     # and a None check when the kind is unsubscribed.
 
-    def process_activate(self, time: int, process: object) -> None:
+    def process_activate(
+        self, time: int, process: object, cause: object = None
+    ) -> None:
         subs = self._process_activate
         if subs is not None:
             for callback in subs:
-                callback(time, process)
+                callback(time, process, cause)
 
     def process_suspend(self, time: int, process: object) -> None:
         subs = self._process_suspend
@@ -202,11 +223,13 @@ class ProbeBus:
             for callback in subs:
                 callback(time, delta_index)
 
-    def event_notify(self, time: int, event: object) -> None:
+    def event_notify(
+        self, time: int, event: object, cause: object = None
+    ) -> None:
         subs = self._event_notify
         if subs is not None:
             for callback in subs:
-                callback(time, event)
+                callback(time, event, cause)
 
     def signal_commit(self, time: int, signal: object, value: object) -> None:
         subs = self._signal_commit

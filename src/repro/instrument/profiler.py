@@ -27,6 +27,27 @@ from .probes import (
 MAX_TRACE_EVENTS = 100_000
 
 
+def chrome_trace_document(trace_events: list[dict], dropped_events: int = 0) -> dict:
+    """Wrap raw trace-event slices in a Chrome trace-event document."""
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped_events": dropped_events},
+    }
+
+
+def write_chrome_trace(
+    path: str, trace_events: list[dict], dropped_events: int = 0
+) -> None:
+    """Write *trace_events* to *path* as Chrome trace-event JSON.
+
+    Shared by the profiler and the span tracer so every exporter emits
+    the same document shape.
+    """
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_document(trace_events, dropped_events), handle)
+
+
 class ProcessProfile:
     """Accumulated wall-clock cost of one kernel process."""
 
@@ -147,15 +168,10 @@ class ProfileReport:
 
     def chrome_trace(self) -> dict:
         """The activation timeline in Chrome trace-event format."""
-        return {
-            "traceEvents": self.trace_events,
-            "displayTimeUnit": "ms",
-            "otherData": {"dropped_events": self.dropped_events},
-        }
+        return chrome_trace_document(self.trace_events, self.dropped_events)
 
     def write_chrome_trace(self, path: str) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.chrome_trace(), handle)
+        write_chrome_trace(path, self.trace_events, self.dropped_events)
 
 
 class WallClockProfiler:
@@ -202,7 +218,9 @@ class WallClockProfiler:
 
     # -- handlers ------------------------------------------------------------
 
-    def _on_activate(self, sim_time: int, process: object) -> None:
+    def _on_activate(
+        self, sim_time: int, process: object, cause: object = None
+    ) -> None:
         name = getattr(process, "name", repr(process))
         self._active = (name, self._clock())
 

@@ -41,6 +41,10 @@ class Event:
         #: Set while queued for the next delta (O(1) dedup in
         #: Scheduler._schedule_delta_event).
         self._delta_pending: bool = False
+        #: Causal edge for the probe bus: the Process that requested the
+        #: pending notification. Recorded only while a bus is attached
+        #: (probes-off runs never touch it) and consumed by _trigger.
+        self._notify_cause: "Process | None" = None
 
     def __repr__(self) -> str:
         label = self.name or "<anonymous>"
@@ -75,10 +79,14 @@ class Event:
 
     def notify(self) -> None:
         """Immediately wake all waiting processes (same evaluation phase)."""
+        if self._scheduler._probes is not None:
+            self._notify_cause = self._scheduler.current_process
         self._trigger()
 
     def notify_delta(self) -> None:
         """Schedule a wake-up of all waiting processes at the next delta."""
+        if self._scheduler._probes is not None:
+            self._notify_cause = self._scheduler.current_process
         self._scheduler._schedule_delta_event(self)
 
     def notify_after(self, delay: int) -> None:
@@ -87,13 +95,16 @@ class Event:
         if delay == 0:
             self.notify_delta()
         else:
+            if self._scheduler._probes is not None:
+                self._notify_cause = self._scheduler.current_process
             self._scheduler._schedule_timed_event(self, delay)
 
     def _trigger(self) -> None:
         """Make every waiter runnable; called by the scheduler or notify()."""
         probes = self._scheduler._probes
         if probes is not None:
-            probes.event_notify(self._scheduler._time, self)
+            cause, self._notify_cause = self._notify_cause, None
+            probes.event_notify(self._scheduler._time, self, cause)
         waiters, self._dynamic_waiters = self._dynamic_waiters, []
         for process in waiters:
             process._wake(self)

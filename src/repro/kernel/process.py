@@ -73,6 +73,11 @@ class Process:
         self._static_sensitivity: list[Event] = []
         self._runnable = False
         self.exception: BaseException | None = None
+        #: Causal edge for the probe bus: the Event whose trigger made
+        #: this process runnable (None for the initial activation).
+        #: Recorded only while a bus is attached; consumed and reset by
+        #: the scheduler's instrumented evaluation loop.
+        self._wake_trigger: Event | None = None
 
     def __repr__(self) -> str:
         return f"Process({self.name}, {self.kind})"
@@ -95,6 +100,8 @@ class Process:
             if self._all_of_pending:
                 return
         self._clear_waits(keep=trigger)
+        if self._scheduler._probes is not None:
+            self._wake_trigger = trigger
         self._make_runnable()
 
     def _wake_static(self, trigger: Event) -> None:
@@ -104,6 +111,8 @@ class Process:
         if self.kind == self.THREAD and self._waiting_on:
             # A thread with an explicit dynamic wait ignores static triggers.
             return
+        if self._scheduler._probes is not None:
+            self._wake_trigger = trigger
         self._make_runnable()
 
     def _make_runnable(self) -> None:

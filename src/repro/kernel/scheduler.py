@@ -181,7 +181,8 @@ class Scheduler:
                 while self._runnable:
                     process = self._runnable.popleft()
                     self.current_process = process
-                    probes.process_activate(self._time, process)
+                    cause, process._wake_trigger = process._wake_trigger, None
+                    probes.process_activate(self._time, process, cause)
                     try:
                         process._execute()
                     finally:

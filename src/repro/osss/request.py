@@ -54,6 +54,29 @@ class MethodRequest:
         return self.grant_time - self.arrival_time
 
 
+def correlation_id_of(request: MethodRequest) -> str | None:
+    """Correlation id carried by a method request, if any.
+
+    Guarded-method calls themselves are not correlated; the id rides on
+    the application payloads they move (a ``CommandType`` argument on
+    ``put_command``, a ``DataType`` result from ``app_data_get``, or the
+    ``(epoch, command)`` tuple ``get_command`` returns). This scans the
+    arguments and the result for the first object exposing a non-None
+    ``corr_id``.
+    """
+    candidates = list(request.args)
+    result = request.result
+    if isinstance(result, tuple):
+        candidates.extend(result)
+    elif result is not None:
+        candidates.append(result)
+    for value in candidates:
+        corr_id = getattr(value, "corr_id", None)
+        if corr_id is not None:
+            return corr_id
+    return None
+
+
 class RequestStats:
     """Aggregated servicing statistics of one shared state space."""
 

@@ -18,6 +18,7 @@ from ..errors import ProtocolError
 from ..hdl.bitvector import LogicVector
 from ..hdl.module import Module
 from ..hdl.signal import Signal
+from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END, new_txn_id
 from ..kernel.event import Event
 from .constants import (
     DEVSEL_TIMEOUT,
@@ -105,6 +106,11 @@ class PciMaster(Module):
 
     def _run_operation(self, operation: PciOperation):
         operation.start_time = self.sim.time
+        if operation.txn_id is None:
+            operation.txn_id = new_txn_id()
+        probes = self.sim._probes
+        if probes is not None:
+            probes.emit(TRANSACTION_BEGIN, self.sim.time, self.path, operation)
         words_done = 0
         while True:
             outcome, words_done = yield from self._attempt(operation, words_done)
@@ -126,6 +132,8 @@ class PciMaster(Module):
                     f"{self.path}: {operation!r} exceeded {self.max_retries} retries"
                 )
         operation.complete_time = self.sim.time
+        if probes is not None:
+            probes.emit(TRANSACTION_END, self.sim.time, self.path, operation)
 
     # -- one arbitration + transaction attempt --------------------------------------
 
@@ -142,6 +150,8 @@ class PciMaster(Module):
             self._parity_duty()
             if is_asserted(self.gnt_n.read()) and bus.idle:
                 break
+        if operation.grant_time is None:
+            operation.grant_time = self.sim.time
 
         # Address phase.
         pins.frame_n.write(0)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from ..errors import ProtocolError
 from ..hdl.module import Module
 from ..hdl.signal import Signal
-from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END
+from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END, new_txn_id
 from .constants import DEVSEL_TIMEOUT, READ_COMMANDS
 from .parity import parity_of_vectors
 from .signals import PciBus, is_asserted
@@ -107,6 +107,7 @@ class PciMonitor(Module):
                     self._current = PciTransaction(
                         cbe.to_int(), ad.to_int(), self.sim.time
                     )
+                    self._current.txn_id = new_txn_id()
                     self.transactions.append(self._current)
                     probes = self.sim._probes
                     if probes is not None:
@@ -127,6 +128,7 @@ class PciMonitor(Module):
             if not self._devsel_seen:
                 if devsel:
                     self._devsel_seen = True
+                    transaction.devsel_time = self.sim.time
                 elif not frame and not irdy:
                     # Master abort completed.
                     transaction.terminated_by = "master_abort"
@@ -144,6 +146,8 @@ class PciMonitor(Module):
                 self._violation("TRDY# asserted without DEVSEL#")
             if irdy and trdy:
                 # Data transfer this cycle.
+                if transaction.first_data_time is None:
+                    transaction.first_data_time = self.sim.time
                 if transaction.command in READ_COMMANDS:
                     if not ad.is_fully_defined:
                         self._violation(f"read data transfer with undefined AD ({ad})")

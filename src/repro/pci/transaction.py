@@ -68,7 +68,13 @@ class PciOperation:
         self.retries = 0
         self.enqueue_time: int | None = None
         self.start_time: int | None = None
+        #: Time the arbiter first granted the bus for this operation.
+        self.grant_time: int | None = None
         self.complete_time: int | None = None
+        #: Correlation id inherited from the issuing CommandType.
+        self.corr_id: str | None = None
+        #: Stable id for transaction.begin/end probe pairing.
+        self.txn_id: int | None = None
 
     @staticmethod
     def _check_word(word: int) -> int:
@@ -130,6 +136,16 @@ class PciTransaction:
         self.byte_enables: list[int] = []
         self.terminated_by: str = "completion"
         self.parity_errors = 0
+        #: Stable id for transaction.begin/end probe pairing.
+        self.txn_id: int | None = None
+        #: Correlation id adopted from the matching master operation
+        #: (monitors cannot see ids through the wires; the span layer
+        #: back-fills this by time/address containment).
+        self.corr_id: str | None = None
+        #: First cycle DEVSEL# was observed asserted.
+        self.devsel_time: int | None = None
+        #: First data-transfer cycle (IRDY# and TRDY# both asserted).
+        self.first_data_time: int | None = None
 
     @property
     def command_name(self) -> str:

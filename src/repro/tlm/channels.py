@@ -11,9 +11,30 @@ import typing
 from collections import deque
 
 from ..errors import SimulationError
-from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END
+from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END, new_txn_id
 from ..kernel.event import Event
 from ..kernel.simulator import Simulator
+
+
+class TlmTransaction:
+    """Probe payload wrapping one ``transport`` round-trip.
+
+    User requests are arbitrary objects (ints, dicts, ...), so the
+    channel cannot stamp a transaction id on them directly; this wrapper
+    gives every round-trip a stable :attr:`txn_id` while keeping the
+    original request reachable. The same wrapper instance is emitted at
+    both the begin and the end probe.
+    """
+
+    __slots__ = ("txn_id", "request", "corr_id")
+
+    def __init__(self, request: object) -> None:
+        self.txn_id = new_txn_id()
+        self.request = request
+        self.corr_id = getattr(request, "corr_id", None)
+
+    def __repr__(self) -> str:
+        return f"TlmTransaction(#{self.txn_id}, {self.request!r})"
 
 
 class TlmFifo:
@@ -99,13 +120,15 @@ class ReqRspChannel:
         """Master side: send *request*, block for the matching response."""
         probes = self.sim._probes
         if probes is not None:
-            probes.emit(TRANSACTION_BEGIN, self.sim.time, self.name, request)
+            # The same wrapper is emitted at begin and end, carrying a
+            # stable txn_id, so subscribers pair the probes reliably
+            # even across layers.
+            transaction = TlmTransaction(request)
+            probes.emit(TRANSACTION_BEGIN, self.sim.time, self.name, transaction)
         yield from self.requests.put(request)
         response = yield from self.responses.get()
         if probes is not None:
-            # The end probe carries the *request* payload so begin/end
-            # pair up for duration accounting.
-            probes.emit(TRANSACTION_END, self.sim.time, self.name, request)
+            probes.emit(TRANSACTION_END, self.sim.time, self.name, transaction)
         return response
 
     def serve(self, handler: typing.Callable[[object], object]):

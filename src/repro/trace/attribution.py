@@ -1,0 +1,130 @@
+"""Latency attribution over assembled span trees.
+
+Breaks every transaction's end-to-end latency into the methodology's
+four cost centres:
+
+``queue_wait``
+    ``put_command`` issued → granted by the channel arbiter (zero on the
+    behavioural spec, one-or-more clock edges after synthesis).
+``arbitration``
+    bus operation started → bus grant won (REQ#/GNT# handshake on PCI;
+    zero for functional interfaces, which have no bus to arbitrate).
+``bus_transfer``
+    bus grant → last data phase retired.
+``completion``
+    bus done → application observes the result (``appDataGet`` path;
+    zero for posted writes).
+
+Anything the four centres do not explain (channel call overhead,
+response-queue residency) is reported as ``other`` so the breakdown
+always sums to the measured total.
+"""
+
+from __future__ import annotations
+
+from .spans import BUS, METHOD, WIRE, Span, SpanTracer
+
+#: Attribution cost centres, in pipeline order.
+CATEGORIES = ("queue_wait", "arbitration", "bus_transfer", "completion", "other")
+
+
+class TransactionAttribution:
+    """Latency breakdown of one root span."""
+
+    def __init__(self, root: Span) -> None:
+        self.corr_id = root.corr_id or root.name
+        self.root = root
+        self.total = root.duration or 0
+        self.categories = {name: 0 for name in CATEGORIES}
+        self._attribute(root)
+
+    def _attribute(self, root: Span) -> None:
+        categories = self.categories
+        put_span = root.find(METHOD, "put_command")
+        if put_span is not None:
+            grant = put_span.meta.get("grant_time")
+            if grant is not None:
+                categories["queue_wait"] = max(0, grant - put_span.start_time)
+        bus_span = root.find(BUS) or root.find(WIRE)
+        if bus_span is not None and bus_span.complete:
+            grant = bus_span.meta.get("grant_time")
+            if grant is not None:
+                categories["arbitration"] = max(0, grant - bus_span.start_time)
+                categories["bus_transfer"] = max(0, bus_span.end_time - grant)
+            else:
+                categories["bus_transfer"] = bus_span.duration or 0
+            if root.end_time is not None:
+                categories["completion"] = max(
+                    0, root.end_time - bus_span.end_time
+                )
+        explained = sum(categories[name] for name in CATEGORIES[:-1])
+        categories["other"] = max(0, self.total - explained)
+
+    def to_dict(self) -> dict:
+        return {
+            "corr_id": self.corr_id,
+            "total": self.total,
+            "categories": dict(self.categories),
+        }
+
+
+class AttributionReport:
+    """Per-transaction and aggregate latency attribution."""
+
+    def __init__(self, transactions: list[TransactionAttribution]) -> None:
+        self.transactions = transactions
+        self.aggregate = {name: 0 for name in CATEGORIES}
+        for txn in transactions:
+            for name in CATEGORIES:
+                self.aggregate[name] += txn.categories[name]
+        self.total = sum(txn.total for txn in transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.transactions:
+            return 0.0
+        return self.total / len(self.transactions)
+
+    def render(self, top: int | None = None) -> str:
+        """Fixed-width table: one row per transaction plus totals."""
+        header = f"{'transaction':<24} {'total':>12} " + " ".join(
+            f"{name:>12}" for name in CATEGORIES
+        )
+        lines = [header, "-" * len(header)]
+        rows = self.transactions if top is None else self.transactions[:top]
+        for txn in rows:
+            lines.append(
+                f"{txn.corr_id:<24} {txn.total:>12} "
+                + " ".join(f"{txn.categories[name]:>12}" for name in CATEGORIES)
+            )
+        if top is not None and len(self.transactions) > top:
+            lines.append(f"... ({len(self.transactions) - top} more)")
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'TOTAL':<24} {self.total:>12} "
+            + " ".join(f"{self.aggregate[name]:>12}" for name in CATEGORIES)
+        )
+        if self.transactions:
+            lines.append(
+                f"{len(self.transactions)} transactions, "
+                f"mean latency {self.mean_latency:.0f} fs"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "transactions": [txn.to_dict() for txn in self.transactions],
+            "aggregate": dict(self.aggregate),
+            "total": self.total,
+            "mean_latency": self.mean_latency,
+        }
+
+
+def attribute(tracer: SpanTracer) -> AttributionReport:
+    """Attribution over every complete transaction in *tracer*."""
+    return AttributionReport(
+        [TransactionAttribution(root) for root in tracer.complete_transactions()]
+    )

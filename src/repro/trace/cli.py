@@ -1,0 +1,240 @@
+"""``python -m repro spans`` — causal transaction tracing.
+
+Two modes:
+
+* **Script mode** (``spans examples/pci_system.py``): executes a script
+  with a process-wide probe bus installed (same mechanism as ``profile``)
+  and a :class:`~repro.trace.spans.SpanTracer` attached, then prints the
+  assembled transaction count, the latency-attribution table and the
+  critical path, optionally writing a Chrome trace of the span forest.
+
+* **Diff mode** (``spans --diff pin_accurate post_synthesis``): builds
+  two refinement levels of the canonical PCI platform over the *same*
+  generated workload, traces both, and prints the per-transaction
+  consistency + latency diff (:mod:`repro.trace.correlate`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import runpy
+import sys
+
+from ..instrument.probes import ProbeBus, set_default_bus
+from ..instrument.profiler import write_chrome_trace
+from .attribution import attribute
+from .correlate import SpanDiff, correlate
+from .spans import SpanTracer, critical_path
+
+#: Refinement levels ``--diff`` understands, mapped to builders lazily
+#: (flow imports pull in the whole platform stack).
+DIFF_LEVELS = ("functional", "pin_accurate", "post_synthesis")
+
+#: Acceptance workload for cross-refinement diffs (EXP-SYN: the same
+#: workload bench_synthesis_consistency uses).
+DIFF_SEED = 55
+DIFF_COMMANDS = 25
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "script", nargs="?", default=None,
+        help="Python script to trace (e.g. examples/pci_system.py); "
+             "omit when using --diff",
+    )
+    parser.add_argument(
+        "script_args", nargs=argparse.REMAINDER,
+        help="arguments passed through to the script",
+    )
+    parser.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"), choices=DIFF_LEVELS,
+        default=None,
+        help="correlate two refinement levels over the same workload "
+             f"(levels: {', '.join(DIFF_LEVELS)})",
+    )
+    parser.add_argument(
+        "--n-commands", type=int, default=DIFF_COMMANDS, metavar="N",
+        help=f"workload length for --diff (default {DIFF_COMMANDS})",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows per table (default 10)",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write the full span report as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--chrome", dest="chrome_path", metavar="PATH", default=None,
+        help="write the span forest as a Chrome trace-event file",
+    )
+    parser.add_argument(
+        "--no-causal", action="store_true",
+        help="skip notify->wake edge recording (no critical path)",
+    )
+    parser.add_argument(
+        "--quiet-script", action="store_true",
+        help="suppress the traced script's stdout",
+    )
+
+
+def _run_script(script: str, script_args: list[str], quiet: bool) -> None:
+    saved_argv = sys.argv
+    sys.argv = [script, *script_args]
+    saved_stdout = sys.stdout
+    if quiet:
+        import io
+
+        sys.stdout = io.StringIO()
+    try:
+        runpy.run_path(script, run_name="__main__")
+    finally:
+        sys.stdout = saved_stdout
+        sys.argv = saved_argv
+
+
+def _diff_workload(args: argparse.Namespace) -> list:
+    from ..core.workload import generate_workload
+
+    seed = args.seed if getattr(args, "seed", None) is not None else DIFF_SEED
+    return generate_workload(
+        seed=seed,
+        n_commands=args.n_commands,
+        address_span=0x400,
+        max_burst=4,
+        partial_byte_enable_fraction=0.2,
+    )
+
+
+def trace_level(level: str, workload: list, causal: bool = True):
+    """Build one refinement level, run it traced, return the tracer.
+
+    :returns: ``(tracer, run_result)``; the tracer is finalized.
+    """
+    from ..flow.platforms import (
+        build_functional_platform,
+        build_pci_platform,
+    )
+    from ..kernel.simtime import MS
+
+    if level == "functional":
+        bundle = build_functional_platform([workload])
+        max_time = 100 * MS
+    elif level == "pin_accurate":
+        bundle = build_pci_platform([workload])
+        max_time = 100 * MS
+    elif level == "post_synthesis":
+        bundle = build_pci_platform([workload], synthesize=True)
+        max_time = 200 * MS
+    else:
+        raise ValueError(f"unknown refinement level {level!r}")
+    tracer = SpanTracer(causal=causal).attach(bundle.handle.sim.probes)
+    result = bundle.run(max_time)
+    tracer.finalize()
+    return tracer, result
+
+
+def diff_levels(
+    level_a: str,
+    level_b: str,
+    workload: list,
+) -> "tuple[SpanDiff, SpanTracer, SpanTracer]":
+    """Trace both levels over *workload* and correlate the span forests."""
+    tracer_a, _ = trace_level(level_a, workload)
+    tracer_b, _ = trace_level(level_b, workload)
+    return correlate(tracer_a, tracer_b, level_a, level_b), tracer_a, tracer_b
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    level_a, level_b = args.diff
+    workload = _diff_workload(args)
+    diff, tracer_a, tracer_b = diff_levels(level_a, level_b, workload)
+
+    print(f"== spans diff: {level_a} vs {level_b} "
+          f"({len(workload)} commands) ==")
+    for level, tracer in ((level_a, tracer_a), (level_b, tracer_b)):
+        report = attribute(tracer)
+        print()
+        print(f"-- {level}: {len(report)} transactions, "
+              f"mean latency {report.mean_latency:.0f} fs --")
+        print(report.render(args.top))
+    print()
+    print(diff.render(args.top))
+
+    if args.chrome_path:
+        write_chrome_trace(args.chrome_path, tracer_b.chrome_events())
+        print(f"\nwrote chrome trace ({level_b}): {args.chrome_path}")
+    if args.json_path:
+        payload = json.dumps(
+            {
+                "diff": diff.to_dict(),
+                "attribution_a": attribute(tracer_a).to_dict(),
+                "attribution_b": attribute(tracer_b).to_dict(),
+            },
+            indent=2,
+        )
+        _emit_json(args.json_path, payload)
+    return 0 if diff.consistent else 1
+
+
+def _run_script_mode(args: argparse.Namespace) -> int:
+    bus = ProbeBus()
+    tracer = SpanTracer(causal=not args.no_causal).attach(bus)
+    previous = set_default_bus(bus)
+    try:
+        _run_script(args.script, args.script_args, args.quiet_script)
+    finally:
+        set_default_bus(previous)
+    tracer.finalize()
+    report = attribute(tracer)
+    path = critical_path(tracer)
+
+    print()
+    print(f"== spans: {args.script} ==")
+    print(f"{len(tracer.roots)} transactions assembled "
+          f"({len(report)} complete), {len(tracer.orphans)} orphan spans, "
+          f"{len(tracer.activations)} causal edges")
+    if report.transactions:
+        print()
+        print(report.render(args.top))
+    if not args.no_causal:
+        print()
+        print(path.render())
+
+    if args.chrome_path:
+        events = tracer.chrome_events()
+        write_chrome_trace(args.chrome_path, events)
+        print(f"\nwrote chrome trace: {args.chrome_path} "
+              f"({len(events)} slices)")
+    if args.json_path:
+        payload = json.dumps(
+            {
+                "script": args.script,
+                "spans": tracer.to_dict(),
+                "attribution": report.to_dict(),
+                "critical_path": path.to_dict(),
+            },
+            indent=2,
+        )
+        _emit_json(args.json_path, payload)
+    return 0
+
+
+def _emit_json(path: str, payload: str) -> None:
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w") as handle:
+            handle.write(payload)
+        print(f"wrote json report: {path}")
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.diff is not None:
+        return _run_diff(args)
+    if args.script is None:
+        print("spans: a script path or --diff A B is required",
+              file=sys.stderr)
+        return 2
+    return _run_script_mode(args)

@@ -1,0 +1,182 @@
+"""Cross-refinement trace correlation.
+
+Running the behavioural specification and the synthesized RT model over
+the *same* workload yields two span forests whose roots carry the same
+correlation ids (``Application.perform`` assigns them deterministically
+per application). Matching root against root gives, per transaction:
+
+* a **consistency verdict** — do the observable command/response
+  signatures agree? (the paper's behaviour-consistency check, but at
+  transaction rather than whole-trace granularity), and
+* a **latency delta** — how much end-to-end latency the refinement step
+  added, with the attribution breakdown explaining where it went.
+"""
+
+from __future__ import annotations
+
+from ..verify.consistency import ConsistencyReport
+from .attribution import CATEGORIES, TransactionAttribution
+from .spans import SpanTracer, _corr_sort_key
+
+
+class SpanDiffEntry:
+    """One correlated transaction pair (or an unmatched singleton)."""
+
+    def __init__(self, corr_id: str) -> None:
+        self.corr_id = corr_id
+        self.attribution_a: TransactionAttribution | None = None
+        self.attribution_b: TransactionAttribution | None = None
+        self.signature_match: bool | None = None
+
+    @property
+    def matched(self) -> bool:
+        return self.attribution_a is not None and self.attribution_b is not None
+
+    @property
+    def latency_a(self) -> int | None:
+        return None if self.attribution_a is None else self.attribution_a.total
+
+    @property
+    def latency_b(self) -> int | None:
+        return None if self.attribution_b is None else self.attribution_b.total
+
+    @property
+    def delta(self) -> int | None:
+        if not self.matched:
+            return None
+        return self.latency_b - self.latency_a
+
+    def category_deltas(self) -> dict:
+        if not self.matched:
+            return {}
+        return {
+            name: self.attribution_b.categories[name]
+            - self.attribution_a.categories[name]
+            for name in CATEGORIES
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "corr_id": self.corr_id,
+            "matched": self.matched,
+            "signature_match": self.signature_match,
+            "latency_a": self.latency_a,
+            "latency_b": self.latency_b,
+            "delta": self.delta,
+            "category_deltas": self.category_deltas(),
+        }
+
+
+class SpanDiff:
+    """Per-transaction diff of two refinement levels over one workload."""
+
+    def __init__(
+        self,
+        label_a: str,
+        label_b: str,
+        entries: list[SpanDiffEntry],
+        report: ConsistencyReport,
+    ) -> None:
+        self.label_a = label_a
+        self.label_b = label_b
+        self.entries = entries
+        self.report = report
+
+    @property
+    def consistent(self) -> bool:
+        return self.report.consistent
+
+    @property
+    def matched_entries(self) -> list[SpanDiffEntry]:
+        return [entry for entry in self.entries if entry.matched]
+
+    @property
+    def mean_delta(self) -> float:
+        matched = self.matched_entries
+        if not matched:
+            return 0.0
+        return sum(entry.delta for entry in matched) / len(matched)
+
+    def render(self, top: int | None = None) -> str:
+        header = (
+            f"{'transaction':<24} {'sig':>5} "
+            f"{self.label_a:>14} {self.label_b:>14} {'delta':>14}"
+        )
+        lines = [
+            f"span diff: {self.label_a} -> {self.label_b}",
+            header,
+            "-" * len(header),
+        ]
+        rows = self.entries if top is None else self.entries[:top]
+        for entry in rows:
+            sig = {True: "ok", False: "DIFF", None: "?"}[entry.signature_match]
+            lat_a = "-" if entry.latency_a is None else str(entry.latency_a)
+            lat_b = "-" if entry.latency_b is None else str(entry.latency_b)
+            delta = "-" if entry.delta is None else f"{entry.delta:+d}"
+            lines.append(
+                f"{entry.corr_id:<24} {sig:>5} {lat_a:>14} {lat_b:>14} {delta:>14}"
+            )
+        if top is not None and len(self.entries) > top:
+            lines.append(f"... ({len(self.entries) - top} more)")
+        lines.append("-" * len(header))
+        lines.append(
+            f"{len(self.matched_entries)}/{len(self.entries)} matched, "
+            f"mean latency delta {self.mean_delta:+.0f} fs"
+        )
+        lines.append(self.report.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "entries": [entry.to_dict() for entry in self.entries],
+            "mean_delta": self.mean_delta,
+            "consistency": self.report.to_dict(),
+        }
+
+
+def correlate(
+    tracer_a: SpanTracer,
+    tracer_b: SpanTracer,
+    label_a: str = "spec",
+    label_b: str = "rtl",
+) -> SpanDiff:
+    """Match two tracers' transactions by correlation id.
+
+    Both tracers are finalized. Every correlation id seen on either side
+    produces one :class:`SpanDiffEntry`; ids present on only one side
+    are reported as consistency mismatches, as are matched transactions
+    whose observable command/response signatures differ.
+    """
+    roots_a = {root.corr_id: root for root in tracer_a.transactions()}
+    roots_b = {root.corr_id: root for root in tracer_b.transactions()}
+    report = ConsistencyReport(label_a, label_b)
+    entries: list[SpanDiffEntry] = []
+    for corr_id in sorted(set(roots_a) | set(roots_b), key=_corr_sort_key):
+        entry = SpanDiffEntry(corr_id)
+        root_a = roots_a.get(corr_id)
+        root_b = roots_b.get(corr_id)
+        if root_a is not None and root_a.complete:
+            entry.attribution_a = TransactionAttribution(root_a)
+        if root_b is not None and root_b.complete:
+            entry.attribution_b = TransactionAttribution(root_b)
+        if root_a is None or root_b is None:
+            missing = label_b if root_b is None else label_a
+            report.add_mismatch(f"{corr_id}: missing from {missing}")
+        else:
+            report.compared_streams += 1
+            entry.signature_match = True
+            for key in ("command_sig", "response_sig"):
+                sig_a = root_a.meta.get(key)
+                sig_b = root_b.meta.get(key)
+                if sig_a is None and sig_b is None:
+                    continue
+                report.compared_items += 1
+                if sig_a != sig_b:
+                    entry.signature_match = False
+                    report.add_mismatch(
+                        f"{corr_id}: {key} {sig_a!r} != {sig_b!r}"
+                    )
+        entries.append(entry)
+    return SpanDiff(label_a, label_b, entries, report)

@@ -51,6 +51,16 @@ class ConsistencyReport:
         lines.extend(f"  mismatch: {m}" for m in self.mismatches)
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "consistent": self.consistent,
+            "compared_streams": self.compared_streams,
+            "compared_items": self.compared_items,
+            "mismatches": list(self.mismatches),
+        }
+
 
 def compare_streams(
     report: ConsistencyReport,

@@ -21,12 +21,15 @@ from .signals import WishboneBus
 
 def _to_wishbone_operation(command: CommandType) -> WishboneOperation:
     if command.is_write:
-        return WishboneOperation.write(
+        operation = WishboneOperation.write(
             command.address, command.data, sel=command.byte_enables
         )
-    return WishboneOperation.read(
-        command.address, count=command.count, sel=command.byte_enables
-    )
+    else:
+        operation = WishboneOperation.read(
+            command.address, count=command.count, sel=command.byte_enables
+        )
+    operation.corr_id = command.corr_id
+    return operation
 
 
 class WishboneBusInterface(BusInterface):
@@ -61,6 +64,7 @@ class WishboneBusInterface(BusInterface):
                 self.operations_failed += 1
             if command.is_read:
                 response = DataType(operation.data, operation.status)
+                response.corr_id = operation.corr_id
                 yield from self.channel.call("put_response", epoch, response)
 
 

@@ -8,6 +8,7 @@ from ..errors import ProtocolError
 from ..hdl.bitvector import LogicVector
 from ..hdl.module import Module
 from ..hdl.signal import Signal
+from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END, new_txn_id
 from ..kernel.event import Event
 from .signals import WishboneBus
 
@@ -51,7 +52,12 @@ class WishboneOperation:
             self.count = count
         self.status = "pending"
         self.enqueue_time: int | None = None
+        self.start_time: int | None = None
         self.complete_time: int | None = None
+        #: Correlation id inherited from the issuing CommandType.
+        self.corr_id: str | None = None
+        #: Stable id for transaction.begin/end probe pairing.
+        self.txn_id: int | None = None
 
     @classmethod
     def read(cls, address: int, count: int = 1, sel: int = 0xF):
@@ -119,6 +125,14 @@ class WishboneMaster(Module):
                 yield self._op_available
                 continue
             operation, done = self._queue.popleft()
+            operation.start_time = self.sim.time
+            if operation.txn_id is None:
+                operation.txn_id = new_txn_id()
+            probes = self.sim._probes
+            if probes is not None:
+                probes.emit(
+                    TRANSACTION_BEGIN, self.sim.time, self.path, operation
+                )
             status = "ok"
             for index in range(operation.count):
                 address = operation.address + 4 * index
@@ -162,6 +176,8 @@ class WishboneMaster(Module):
             bus.stb.write(0)
             operation.status = status
             operation.complete_time = self.sim.time
+            if probes is not None:
+                probes.emit(TRANSACTION_END, self.sim.time, self.path, operation)
             if status == "ok":
                 self.ops_completed += 1
             done.notify_delta()

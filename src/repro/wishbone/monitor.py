@@ -5,7 +5,7 @@ from __future__ import annotations
 from ..errors import ProtocolError
 from ..hdl.module import Module
 from ..hdl.signal import Signal
-from ..instrument.probes import TRANSACTION_END
+from ..instrument.probes import TRANSACTION_END, new_txn_id
 from .signals import WishboneBus
 
 
@@ -20,6 +20,11 @@ class WishboneTransfer:
         self.sel = sel
         self.time = time
         self.terminated_by = terminated_by
+        #: Stable id for transaction probe pairing.
+        self.txn_id: int | None = None
+        #: Correlation id back-filled by the span layer (by time/address
+        #: containment against the master's operation span).
+        self.corr_id: str | None = None
 
     def signature(self) -> tuple:
         return (self.address, self.is_write, self.data, self.sel,
@@ -98,6 +103,7 @@ class WishboneMonitor(Module):
                 adr.to_int(), is_write, data, sel, self.sim.time,
                 "ack" if ack else "err",
             )
+            transfer.txn_id = new_txn_id()
             self.transfers.append(transfer)
             # Wishbone classic cycles terminate in the cycle they are
             # observed; only the end probe is meaningful.

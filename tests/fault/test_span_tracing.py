@@ -1,0 +1,64 @@
+"""Span tracing inside fault-campaign workers.
+
+The SpanTracer is an ordinary probe-bus subscriber, so it follows the
+same discipline as the DetectionLog: every worker process rebuilds the
+platform from the picklable CampaignSpec and re-attaches its own
+tracer, which must make serial and parallel campaigns report identical
+span statistics — and must never change how runs classify.
+"""
+
+from repro.fault import CampaignSpec, FaultSpec, run_campaign
+
+
+def _spec(trace_spans=True, seed=23):
+    return CampaignSpec(
+        "span-trace-test",
+        [
+            FaultSpec("stuck_at", "top.bus.devsel_n", repeats=2,
+                      params={"value": 1}),
+            FaultSpec("dropped_request", "top.interface.channel",
+                      repeats=2, params={"method": "put_command"}),
+        ],
+        platform="pci",
+        seed=seed,
+        n_apps=2,
+        commands_per_app=4,
+        trace_spans=trace_spans,
+    )
+
+
+def _span_fingerprint(result):
+    return [
+        (o.run_id, o.classification, o.spans_assembled, o.span_mean_latency)
+        for o in result.outcomes
+    ]
+
+
+class TestCampaignSpanTracing:
+    def test_outcomes_carry_span_statistics(self):
+        result = run_campaign(_spec(), workers=1)
+        traced = [o for o in result.outcomes if o.spans_assembled > 0]
+        assert traced, "no run assembled any spans"
+        for outcome in traced:
+            assert outcome.span_mean_latency > 0
+
+    def test_serial_and_parallel_span_stats_agree(self):
+        serial = run_campaign(_spec(), workers=1)
+        parallel = run_campaign(_spec(), workers=2)
+        assert _span_fingerprint(serial) == _span_fingerprint(parallel)
+
+    def test_tracing_does_not_change_classifications(self):
+        traced = run_campaign(_spec(trace_spans=True), workers=1)
+        untraced = run_campaign(_spec(trace_spans=False), workers=1)
+        assert (
+            [o.classification for o in traced.outcomes]
+            == [o.classification for o in untraced.outcomes]
+        )
+        assert all(o.spans_assembled == 0 for o in untraced.outcomes)
+        assert all(o.span_mean_latency == 0 for o in untraced.outcomes)
+
+    def test_outcome_dict_includes_span_fields(self):
+        result = run_campaign(_spec(), workers=1, max_runs=1)
+        record = result.outcomes[0].to_dict()
+        assert "spans_assembled" in record
+        assert "span_mean_latency" in record

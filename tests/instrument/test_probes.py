@@ -148,7 +148,7 @@ class TestKernelProbes:
         _Counter(sim, "top")
         names = set()
         sim.probes.subscribe(
-            PROCESS_ACTIVATE, lambda t, p: names.add(p.name)
+            PROCESS_ACTIVATE, lambda t, p, cause: names.add(p.name)
         )
         sim.run(30 * NS)
         assert "top.tick" in names and "top.count_proc" in names

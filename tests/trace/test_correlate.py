@@ -1,0 +1,111 @@
+"""Cross-refinement correlation and the ``spans`` CLI."""
+
+import json
+
+from repro.__main__ import main
+from repro.core import generate_workload
+from repro.trace import SpanTracer, correlate
+from repro.trace.cli import diff_levels, trace_level
+from repro.trace.spans import TRANSACTION, Span
+
+
+def _tracer_with(roots):
+    tracer = SpanTracer(causal=False)
+    for corr_id, (start, end, sig) in roots.items():
+        root = Span(corr_id, TRANSACTION, start, corr_id=corr_id)
+        root.end_time = end
+        root.meta["command_sig"] = sig
+        child = root.add_child(Span("put_command", "method", start))
+        child.end_time = end
+        tracer.roots[corr_id] = root
+    tracer._finalized = True
+    return tracer
+
+
+class TestCorrelate:
+    def test_matching_roots_are_consistent(self):
+        diff = correlate(
+            _tracer_with({"a#0": (0, 100, ("w",)), "a#1": (100, 250, ("r",))}),
+            _tracer_with({"a#0": (0, 160, ("w",)), "a#1": (100, 400, ("r",))}),
+            "spec", "rtl",
+        )
+        assert diff.consistent
+        assert len(diff.matched_entries) == 2
+        assert [e.delta for e in diff.entries] == [60, 150]
+        assert diff.mean_delta == 105
+        assert "spec" in diff.render() and "rtl" in diff.render()
+
+    def test_signature_divergence_is_a_mismatch(self):
+        diff = correlate(
+            _tracer_with({"a#0": (0, 100, ("w", 1))}),
+            _tracer_with({"a#0": (0, 100, ("w", 2))}),
+        )
+        assert not diff.consistent
+        assert diff.entries[0].signature_match is False
+        assert "command_sig" in diff.report.mismatches[0]
+
+    def test_missing_transaction_is_a_mismatch(self):
+        diff = correlate(
+            _tracer_with({"a#0": (0, 100, ("w",)), "a#1": (0, 50, ("r",))}),
+            _tracer_with({"a#0": (0, 100, ("w",))}),
+        )
+        assert not diff.consistent
+        assert any("missing" in m for m in diff.report.mismatches)
+        assert len(diff.matched_entries) == 1
+
+    def test_to_dict_round_trips_through_json(self):
+        diff = correlate(
+            _tracer_with({"a#0": (0, 100, ("w",))}),
+            _tracer_with({"a#0": (0, 130, ("w",))}),
+        )
+        doc = json.loads(json.dumps(diff.to_dict()))
+        assert doc["entries"][0]["delta"] == 30
+        assert doc["consistency"]["consistent"] is True
+
+
+class TestRefinementDiff:
+    def test_spec_vs_rtl_over_same_workload(self):
+        workload = generate_workload(
+            seed=55, n_commands=6, address_span=0x400, max_burst=4,
+            partial_byte_enable_fraction=0.2,
+        )
+        diff, tracer_a, tracer_b = diff_levels(
+            "pin_accurate", "post_synthesis", workload
+        )
+        assert diff.consistent
+        assert len(diff.matched_entries) == len(workload)
+        # Synthesis adds handshake latency to every transaction.
+        assert all(e.delta > 0 for e in diff.matched_entries)
+        assert all(e.signature_match for e in diff.matched_entries)
+
+    def test_functional_level_traces_too(self):
+        workload = generate_workload(seed=7, n_commands=4)
+        tracer, result = trace_level("functional", workload)
+        assert len(tracer.complete_transactions()) == len(workload)
+
+
+class TestSpansCli:
+    def test_diff_subcommand_exits_zero_when_consistent(self, capsys):
+        code = main([
+            "spans", "--diff", "pin_accurate", "post_synthesis",
+            "--n-commands", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CONSISTENT" in out
+        assert "4/4 matched" in out
+
+    def test_diff_json_output(self, capsys, tmp_path):
+        path = tmp_path / "diff.json"
+        code = main([
+            "spans", "--diff", "pin_accurate", "post_synthesis",
+            "--n-commands", "3", "--json", str(path),
+        ])
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["diff"]["consistency"]["consistent"] is True
+        assert len(doc["diff"]["entries"]) == 3
+        assert doc["attribution_b"]["total"] > doc["attribution_a"]["total"]
+
+    def test_script_mode_requires_script(self, capsys):
+        assert main(["spans"]) == 2
