@@ -58,14 +58,42 @@ class PciBusInterface(BusInterface):
         self.operations_failed = 0
         self.thread(self._dispatch, "dispatch")
 
+    def _apply_recovery(self, recovery) -> None:
+        """Arm PERR#-style read-parity checking in the master engine."""
+        self.master.check_parity = bool(
+            getattr(recovery, "check_parity", False)
+        )
+
+    @staticmethod
+    def _operation_failure(operation) -> str | None:
+        """Failure tag of a completed PCI operation, None on success."""
+        if operation.status != STATUS_OK:
+            return operation.status
+        if operation.parity_error:
+            return "parity"
+        return None
+
     def _dispatch(self):
-        """Forever: take a command from the channel, run it on the pins."""
+        """Forever: take a command from the channel, run it on the pins.
+
+        With recovery armed, failed operations (master abort, target
+        abort, read-parity mismatch) are replayed from the command a
+        bounded number of times before the failure is surfaced.
+        """
         while True:
             epoch, command = yield from self.channel.call("get_command")
-            operation = command.to_pci_operation()
-            yield from self.master.transact(operation)
+            if self.recovery is None:
+                operation = command.to_pci_operation()
+                yield from self.master.transact(operation)
+            else:
+                operation = yield from self._transact_with_recovery(
+                    command,
+                    lambda cmd: cmd.to_pci_operation(),
+                    self.master.transact,
+                    self._operation_failure,
+                )
             self.commands_serviced += 1
-            if operation.status != STATUS_OK:
+            if self._operation_failure(operation) is not None:
                 self.operations_failed += 1
             if command.is_read:
                 response = DataType(operation.data, operation.status)

@@ -57,6 +57,15 @@ class GuardTimeoutError(ReproError):
     """A guarded method call did not complete within the allotted time."""
 
 
+class CheckpointError(ReproError):
+    """A kernel checkpoint could not be taken, restored or verified.
+
+    Raised for non-quiescent snapshots (pending guarded calls), restores
+    onto an incompatible hierarchy, and replay divergence — a rebuilt
+    platform that does not reproduce the checkpoint it was rolled back to.
+    """
+
+
 class SynthesisError(ReproError):
     """The communication synthesis tool rejected or mis-lowered a design."""
 

@@ -14,8 +14,10 @@ from .campaign import (
     CLASSIFICATIONS,
     DETECTED,
     ERROR,
+    RECOVERED,
     SILENT,
     TIMEOUT,
+    WORKER_ERROR,
     GoldenReference,
     RunOutcome,
     build_campaign_platform,
@@ -40,6 +42,8 @@ from .models import (
 )
 from .report import (
     per_kind_breakdown,
+    recovery_rate,
+    recovery_stats,
     render_report,
     report_as_dict,
     report_as_json,
@@ -62,8 +66,10 @@ __all__ = [
     "ERROR",
     "FAULT_KINDS",
     "PLATFORMS",
+    "RECOVERED",
     "SILENT",
     "TIMEOUT",
+    "WORKER_ERROR",
     "BitFlipFault",
     "CampaignResult",
     "CampaignSpec",
@@ -90,6 +96,8 @@ __all__ = [
     "match_targets",
     "per_kind_breakdown",
     "plan_campaign",
+    "recovery_rate",
+    "recovery_stats",
     "render_report",
     "report_as_dict",
     "report_as_json",

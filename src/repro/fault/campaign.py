@@ -13,8 +13,14 @@ then classifies each faulty run:
   behaviour (traces or memory image) diverges from golden: undetected
   corruption, the number a campaign exists to measure;
 * ``benign`` — the fault had no observable effect;
-* ``timeout`` / ``error`` — infrastructure outcomes (wall-clock kill,
-  non-library exception), kept out of the coverage ratio.
+* ``recovered`` — the fault perturbed the run (it activated and either
+  recovery machinery replayed/retried or a checker fired) but the
+  resilience stack absorbed the damage: the run completed and its
+  observable behaviour matches golden. Only reachable with
+  ``spec.resilience`` on;
+* ``timeout`` / ``error`` / ``worker_error`` — infrastructure outcomes
+  (wall-clock budget, non-library exception, worker process death),
+  kept out of the coverage ratio.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from ..hdl.signal import Signal
 from ..instrument.metrics import DetectionLog
 from ..core.workload import generate_workload
 from ..osss.global_object import GlobalObject
+from ..resilience.watchdog import RunWatchdog
 from ..trace.attribution import attribute
 from ..trace.spans import SpanTracer
 from .models import make_fault
@@ -44,10 +51,14 @@ from .spec import CampaignSpec, RunSpec, expand_campaign
 DETECTED = "detected"
 SILENT = "silent"
 BENIGN = "benign"
+RECOVERED = "recovered"
 TIMEOUT = "timeout"
 ERROR = "error"
+WORKER_ERROR = "worker_error"
 
-CLASSIFICATIONS = (DETECTED, SILENT, BENIGN, TIMEOUT, ERROR)
+CLASSIFICATIONS = (
+    DETECTED, SILENT, BENIGN, RECOVERED, TIMEOUT, ERROR, WORKER_ERROR
+)
 
 _BUILDERS = {
     "pci": build_pci_platform,
@@ -91,6 +102,8 @@ class RunOutcome:
         sim_time: int = 0,
         spans_assembled: int = 0,
         span_mean_latency: int = 0,
+        recovery_events: int = 0,
+        recovery_latency: int = 0,
     ) -> None:
         self.run_id = run_id
         self.kind = kind
@@ -105,6 +118,11 @@ class RunOutcome:
         #: Populated when the campaign runs with ``trace_spans=True``.
         self.spans_assembled = spans_assembled
         self.span_mean_latency = span_mean_latency
+        #: Populated when the campaign runs with ``resilience=True``:
+        #: count of ``resilience.recovered`` probe events, and the mean
+        #: fs between first failure sign and successful recovery.
+        self.recovery_events = recovery_events
+        self.recovery_latency = recovery_latency
 
     def __repr__(self) -> str:
         return (
@@ -126,6 +144,8 @@ class RunOutcome:
             "sim_time": self.sim_time,
             "spans_assembled": self.spans_assembled,
             "span_mean_latency": self.span_mean_latency,
+            "recovery_events": self.recovery_events,
+            "recovery_latency": self.recovery_latency,
         }
 
 
@@ -143,6 +163,10 @@ def build_campaign_platform(spec: CampaignSpec) -> PlatformBundle:
     config = PciPlatformConfig(
         monitor_strict=False, app_think_time=spec.think_time
     )
+    if spec.resilience:
+        from ..resilience import ResilienceConfig
+
+        config.resilience = ResilienceConfig.default(spec.seed)
     return _BUILDERS[spec.platform](workloads, config)
 
 
@@ -183,7 +207,13 @@ def execute_run(
     run: RunSpec,
     golden: GoldenReference,
 ) -> RunOutcome:
-    """Build, infect, run and classify one campaign run."""
+    """Build, infect, run and classify one campaign run.
+
+    The per-run wall-clock budget is enforced by an in-sim
+    :class:`~repro.resilience.watchdog.RunWatchdog` — portable (no
+    SIGALRM, works off the main thread) and composable with the stall
+    supervision the resilience mode adds on top.
+    """
     started = _time.perf_counter()
     bundle = build_campaign_platform(spec)
     sim = bundle.handle.sim
@@ -198,6 +228,20 @@ def execute_run(
         SpanTracer(causal=False).attach(sim.probes)
         if spec.trace_spans else None
     )
+    recovery_log = None
+    if spec.resilience:
+        from ..resilience import RecoveryLog
+
+        recovery_log = RecoveryLog().attach(sim.probes)
+    # Wall budget is always enforced; communication-stall supervision
+    # only arms with resilience on, so baseline campaigns classify
+    # exactly as they did under the old whole-run alarm.
+    watchdog = RunWatchdog(
+        sim,
+        wall_budget=spec.wall_timeout or None,
+        stall_strikes=5 if spec.resilience else 0,
+        action="stop",
+    )
     fault = make_fault(run.kind, run.target_path, run.window, **run.params)
     classification = ERROR
     detail = ""
@@ -205,14 +249,23 @@ def execute_run(
         fault.arm(sim)
         result = bundle.run(spec.max_time)
     except RefinementError as error:
-        # The deadlock watchdog: applications never finished. Blocked
-        # guarded-method calls say who was starved.
-        blocked = sim.blocked_processes()
-        classification = DETECTED
-        stuck = ", ".join(
-            f"{b.client}->{b.method}" for b in blocked[:3]
-        ) or str(error)
-        detail = f"deadlock watchdog: {stuck}"
+        if watchdog.fired and watchdog.reason == "wall":
+            classification = TIMEOUT
+            detail = f"wall-clock budget of {spec.wall_timeout}s exhausted"
+        else:
+            # The deadlock watchdog: applications never finished.
+            # Blocked guarded-method calls say who was starved.
+            blocked = sim.blocked_processes()
+            classification = DETECTED
+            stuck = ", ".join(
+                f"{b.client}->{b.method}" for b in blocked[:3]
+            ) or str(error)
+            label = (
+                "stall watchdog"
+                if watchdog.fired and watchdog.reason == "stall"
+                else "deadlock watchdog"
+            )
+            detail = f"{label}: {stuck}"
     except ReproError as error:
         classification = DETECTED
         detail = f"{type(error).__name__}: {error}"
@@ -221,7 +274,23 @@ def execute_run(
         detail = f"{type(error).__name__}: {error}"
     else:
         image = bundle.memory.dump(0, spec.address_span // 4)
-        if detections:
+        recoveries = (
+            recovery_log.recoveries if recovery_log is not None else 0
+        )
+        behaviour_matches = (
+            result.traces == golden.traces and image == golden.image
+        )
+        if behaviour_matches and recoveries and fault.activations:
+            # The fault struck and the resilience stack absorbed it: the
+            # run may well have raised detections on the way (a parity
+            # violation the replay then papered over), but the observable
+            # behaviour is golden.
+            classification = RECOVERED
+            detail = (
+                f"{recoveries} recoveries absorbed "
+                f"{fault.activations} activations"
+            )
+        elif detections:
             first = detections.records[0]
             classification = DETECTED
             detail = f"{first.source}: {first.message}"
@@ -238,12 +307,21 @@ def execute_run(
                 if fault.activations
                 else "fault never activated"
             )
+    finally:
+        watchdog.cancel()
     spans_assembled = 0
     span_mean_latency = 0
     if tracer is not None:
         report = attribute(tracer.finalize())
         spans_assembled = len(report)
         span_mean_latency = int(report.mean_latency)
+    recovery_events = 0
+    recovery_latency = 0
+    if recovery_log is not None:
+        recovery_events = recovery_log.recoveries
+        latencies = recovery_log.recovery_latencies()
+        if latencies:
+            recovery_latency = int(sum(latencies) / len(latencies))
     return RunOutcome(
         run.run_id,
         run.kind,
@@ -257,6 +335,8 @@ def execute_run(
         sim_time=sim.time,
         spans_assembled=spans_assembled,
         span_mean_latency=span_mean_latency,
+        recovery_events=recovery_events,
+        recovery_latency=recovery_latency,
     )
 
 

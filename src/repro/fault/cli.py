@@ -44,6 +44,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="attach a span tracer to every run and report per-run "
              "span counts and mean latencies",
     )
+    parser.add_argument(
+        "--resilience", action="store_true",
+        help="arm the recovery stack (guarded-call retry policies + "
+             "protocol replay) on every run; faults the stack absorbs "
+             "classify as 'recovered'",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -53,6 +59,7 @@ def run(args: argparse.Namespace) -> int:
     )
     spec.wall_timeout = args.timeout
     spec.trace_spans = args.trace_spans
+    spec.resilience = args.resilience
     if args.lint:
         from ..lint import lint_campaign
 
@@ -66,6 +73,9 @@ def run(args: argparse.Namespace) -> int:
         print(report_as_json(result))
     else:
         print(render_report(result, verbose=args.verbose))
-    if any(o.classification == "error" for o in result.outcomes):
+    if any(
+        o.classification in ("error", "worker_error")
+        for o in result.outcomes
+    ):
         return 1
     return 0

@@ -9,11 +9,43 @@ from .campaign import (
     BENIGN,
     CLASSIFICATIONS,
     DETECTED,
+    RECOVERED,
     SILENT,
     classify_counts,
     detection_coverage,
 )
 from .runner import CampaignResult
+
+
+def recovery_rate(outcomes: typing.Iterable) -> float | None:
+    """``recovered / (recovered + detected + silent)``.
+
+    The fraction of effective faults the resilience stack absorbed;
+    ``None`` when no fault had an effect (or resilience was off and
+    nothing recovered).
+    """
+    counts = classify_counts(outcomes)
+    effective = counts[RECOVERED] + counts[DETECTED] + counts[SILENT]
+    if not effective:
+        return None
+    return counts[RECOVERED] / effective
+
+
+def recovery_stats(outcomes: typing.Iterable) -> dict:
+    """Aggregate recovery-event counts and latency over all outcomes."""
+    events = 0
+    latencies = []
+    for outcome in outcomes:
+        events += outcome.recovery_events
+        if outcome.recovery_events and outcome.recovery_latency:
+            latencies.append(outcome.recovery_latency)
+    return {
+        "recovery_events": events,
+        "mean_recovery_latency": (
+            int(sum(latencies) / len(latencies)) if latencies else 0
+        ),
+        "max_recovery_latency": max(latencies) if latencies else 0,
+    }
 
 
 def _format_table(
@@ -45,6 +77,7 @@ def render_report(result: CampaignResult, verbose: bool = False) -> str:
     """Human-readable campaign report."""
     counts = classify_counts(result.outcomes)
     coverage = detection_coverage(result.outcomes)
+    rate = recovery_rate(result.outcomes)
     rows = []
     for kind, row in sorted(per_kind_breakdown(result).items()):
         effective = row[DETECTED] + row[SILENT]
@@ -53,17 +86,20 @@ def render_report(result: CampaignResult, verbose: bool = False) -> str:
         )
         rows.append(
             [kind, sum(row.values()), row[DETECTED], row[SILENT],
-             row[BENIGN], kind_coverage]
+             row[BENIGN], row[RECOVERED], kind_coverage]
         )
+    restarts = getattr(result, "pool_restarts", 0)
     lines = [
         f"fault campaign {result.spec.name!r} "
         f"(platform={result.spec.platform}, seed={result.spec.seed})",
         f"  runs: {len(result.outcomes)}  workers: {result.workers}  "
         f"wall: {result.wall_seconds:.2f}s  "
-        f"({result.runs_per_second:.1f} runs/s)",
+        f"({result.runs_per_second:.1f} runs/s)"
+        + (f"  pool restarts: {restarts}" if restarts else ""),
         "",
         _format_table(
-            ["fault", "runs", "detected", "silent", "benign", "coverage"],
+            ["fault", "runs", "detected", "silent", "benign", "recovered",
+             "coverage"],
             rows,
         ),
         "",
@@ -77,6 +113,15 @@ def render_report(result: CampaignResult, verbose: bool = False) -> str:
             f"detection coverage: {coverage:.1%} "
             f"({counts[DETECTED]}/{counts[DETECTED] + counts[SILENT]} "
             "effective faults detected)"
+        )
+    if result.spec.resilience:
+        stats = recovery_stats(result.outcomes)
+        rate_text = "n/a" if rate is None else f"{rate:.1%}"
+        lines.append(
+            f"recovery: {counts[RECOVERED]} runs absorbed "
+            f"({rate_text} of effective faults), "
+            f"{stats['recovery_events']} recovery events, "
+            f"mean latency {stats['mean_recovery_latency']} fs"
         )
     if verbose:
         lines.append("")
@@ -107,6 +152,10 @@ def report_as_dict(result: CampaignResult) -> dict:
         "runs_per_second": round(result.runs_per_second, 3),
         "classifications": classify_counts(result.outcomes),
         "detection_coverage": detection_coverage(result.outcomes),
+        "resilience": result.spec.resilience,
+        "recovery_rate": recovery_rate(result.outcomes),
+        "recovery": recovery_stats(result.outcomes),
+        "pool_restarts": getattr(result, "pool_restarts", 0),
         "per_kind": per_kind_breakdown(result),
         "golden": {
             "horizon": result.golden.horizon,

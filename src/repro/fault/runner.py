@@ -1,11 +1,22 @@
-"""Serial and parallel campaign runners.
+"""Serial and parallel campaign runners with worker supervision.
 
 Every run is fully isolated: the worker rebuilds the platform from the
 picklable :class:`~repro.fault.spec.CampaignSpec`, arms exactly one
 fault, and classifies against the golden reference computed once by the
 parent. Parallelism uses :class:`concurrent.futures.ProcessPoolExecutor`
 so a run that corrupts interpreter state, leaks design objects or spins
-cannot poison its siblings; a per-run wall-clock alarm kills runaways.
+cannot poison its siblings; per-run wall budgets are enforced *inside*
+the run by the in-sim watchdog (portable — no SIGALRM, no main-thread
+requirement).
+
+The parallel runner is self-healing: a worker process dying (crash,
+OOM kill, hard exit) breaks the pool, but every outcome completed
+before the break is kept. The unfinished runs are then retried one at
+a time, each in its own single-worker pool — a pool break there
+conclusively identifies the culprit (reported as ``worker_error``)
+while every collateral run completes normally. The campaign always
+terminates: the quarantine phase spawns at most one pool per
+unfinished run.
 
 Outcomes are returned sorted by run id, so serial and parallel execution
 produce byte-identical reports for the same spec and seed.
@@ -14,58 +25,19 @@ produce byte-identical reports for the same spec and seed.
 from __future__ import annotations
 
 import concurrent.futures
-import math
 import os
-import signal as _signal
 import time as _time
 import typing
+from concurrent.futures.process import BrokenProcessPool
 
 from .campaign import (
+    WORKER_ERROR,
     GoldenReference,
     RunOutcome,
-    TIMEOUT,
     execute_run,
     plan_campaign,
 )
 from .spec import CampaignSpec, RunSpec
-
-
-class _WallTimeout(Exception):
-    """Raised inside a run when its wall-clock budget expires."""
-
-
-def _alarm_handler(signum: object, frame: object) -> None:
-    raise _WallTimeout()
-
-
-def _run_with_timeout(
-    spec: CampaignSpec, run: RunSpec, golden: GoldenReference
-) -> RunOutcome:
-    """Execute one run under a wall-clock alarm (POSIX main thread)."""
-    use_alarm = (
-        hasattr(_signal, "SIGALRM") and spec.wall_timeout
-        and _signal.getsignal(_signal.SIGALRM)
-        in (_signal.SIG_DFL, _signal.default_int_handler, _alarm_handler, None)
-    )
-    started = _time.perf_counter()
-    if use_alarm:
-        _signal.signal(_signal.SIGALRM, _alarm_handler)
-        _signal.alarm(max(1, math.ceil(spec.wall_timeout)))
-    try:
-        return execute_run(spec, run, golden)
-    except _WallTimeout:
-        return RunOutcome(
-            run.run_id,
-            run.kind,
-            run.target_path,
-            run.window,
-            TIMEOUT,
-            f"wall-clock timeout after {spec.wall_timeout}s",
-            wall_seconds=_time.perf_counter() - started,
-        )
-    finally:
-        if use_alarm:
-            _signal.alarm(0)
 
 
 #: Per-worker campaign context, installed once by the pool initializer
@@ -80,7 +52,23 @@ def _init_worker(spec: CampaignSpec, golden: GoldenReference) -> None:
 
 def _worker(run: RunSpec) -> RunOutcome:
     """Top-level (picklable) worker entry for the process pool."""
-    return _run_with_timeout(_WORKER_STATE["spec"], run, _WORKER_STATE["golden"])
+    spec = _WORKER_STATE["spec"]
+    if run.run_id in spec.crash_run_ids:
+        # Chaos knob: die the way a segfaulting or OOM-killed worker
+        # does — no exception, no cleanup, just a vanished process.
+        os._exit(17)
+    return execute_run(spec, run, _WORKER_STATE["golden"])
+
+
+def _worker_error(run: RunSpec, detail: str) -> RunOutcome:
+    return RunOutcome(
+        run.run_id,
+        run.kind,
+        run.target_path,
+        run.window,
+        WORKER_ERROR,
+        detail,
+    )
 
 
 class CampaignResult:
@@ -93,12 +81,15 @@ class CampaignResult:
         outcomes: list[RunOutcome],
         wall_seconds: float,
         workers: int,
+        pool_restarts: int = 0,
     ) -> None:
         self.spec = spec
         self.golden = golden
         self.outcomes = outcomes
         self.wall_seconds = wall_seconds
         self.workers = workers
+        #: Worker pools restarted after a worker process died.
+        self.pool_restarts = pool_restarts
 
     @property
     def runs_per_second(self) -> float:
@@ -112,6 +103,93 @@ class CampaignResult:
 
 def default_workers() -> int:
     return max(1, min(8, (os.cpu_count() or 2) // 2))
+
+
+def _run_serial(
+    spec: CampaignSpec,
+    runs: list[RunSpec],
+    golden: GoldenReference,
+    progress: typing.Callable[[RunOutcome], None] | None,
+) -> list[RunOutcome]:
+    outcomes = []
+    for run in runs:
+        if run.run_id in spec.crash_run_ids:
+            # Mirror what the self-healing pool reports for this run so
+            # serial and parallel campaigns stay byte-identical.
+            outcome = _worker_error(run, "worker process died (simulated)")
+        else:
+            outcome = execute_run(spec, run, golden)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return outcomes
+
+
+def _quarantine_run(
+    spec: CampaignSpec, run: RunSpec, golden: GoldenReference
+) -> RunOutcome:
+    """Retry one run alone in a fresh single-worker pool.
+
+    With no siblings sharing the pool, a break here pins the worker
+    death on this exact run.
+    """
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=1,
+        initializer=_init_worker,
+        initargs=(spec, golden),
+    ) as pool:
+        try:
+            return pool.submit(_worker, run).result()
+        except BrokenProcessPool:
+            return _worker_error(
+                run, "worker process died (simulated)"
+                if run.run_id in spec.crash_run_ids
+                else "worker process died"
+            )
+        except Exception as error:  # noqa: BLE001
+            return _worker_error(run, f"{type(error).__name__}: {error}")
+
+
+def _run_parallel(
+    spec: CampaignSpec,
+    runs: list[RunSpec],
+    golden: GoldenReference,
+    workers: int,
+    progress: typing.Callable[[RunOutcome], None] | None,
+) -> tuple[list[RunOutcome], int]:
+    outcomes: list[RunOutcome] = []
+    unfinished: list[RunSpec] = []
+    restarts = 0
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(spec, golden),
+    ) as pool:
+        futures = {pool.submit(_worker, run): run for run in runs}
+        for future in concurrent.futures.as_completed(futures):
+            run = futures[future]
+            try:
+                outcome = future.result()
+            except BrokenProcessPool:
+                # Completed siblings are already in `outcomes`; this run
+                # either killed its worker or is collateral damage —
+                # the quarantine phase below sorts out which.
+                unfinished.append(run)
+                continue
+            except Exception as error:  # noqa: BLE001
+                outcome = _worker_error(
+                    run, f"{type(error).__name__}: {error}"
+                )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    for run in sorted(unfinished, key=lambda r: r.run_id):
+        restarts += 1
+        outcome = _quarantine_run(spec, run, golden)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return outcomes, restarts
 
 
 def run_campaign(
@@ -132,25 +210,13 @@ def run_campaign(
     golden, runs = plan_campaign(spec)
     if max_runs is not None:
         runs = runs[:max_runs]
+    restarts = 0
     if workers <= 1:
-        outcomes = []
-        for run in runs:
-            outcome = _run_with_timeout(spec, run, golden)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(outcome)
+        outcomes = _run_serial(spec, runs, golden, progress)
     else:
-        outcomes = []
-        chunksize = max(1, math.ceil(len(runs) / (workers * 4)))
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(spec, golden),
-        ) as pool:
-            for outcome in pool.map(_worker, runs, chunksize=chunksize):
-                outcomes.append(outcome)
-                if progress is not None:
-                    progress(outcome)
+        outcomes, restarts = _run_parallel(
+            spec, runs, golden, workers, progress
+        )
     outcomes.sort(key=lambda o: o.run_id)
     return CampaignResult(
         spec,
@@ -158,4 +224,5 @@ def run_campaign(
         outcomes,
         _time.perf_counter() - started,
         workers,
+        pool_restarts=restarts,
     )

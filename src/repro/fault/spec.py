@@ -86,6 +86,8 @@ class CampaignSpec:
         write_fraction: float = 0.6,
         think_time: int = 0,
         trace_spans: bool = False,
+        resilience: bool = False,
+        crash_run_ids: typing.Sequence[int] = (),
     ) -> None:
         if platform not in PLATFORMS:
             raise FaultInjectionError(
@@ -110,6 +112,18 @@ class CampaignSpec:
         #: report per-run span counts/latencies on the outcomes. The
         #: spec is picklable, so parallel workers trace identically.
         self.trace_spans = trace_spans
+        #: arm the resilience stack (guarded-call retry policies seeded
+        #: from the campaign seed + protocol replay in the interface
+        #: element) on every platform the campaign builds — golden and
+        #: faulty alike, so traces stay comparable. Runs whose damage
+        #: the stack absorbs classify as ``recovered``.
+        self.resilience = resilience
+        #: chaos knob for the self-healing runner: pool workers
+        #: hard-exit (``os._exit``) before executing these run ids, so
+        #: tests can prove completed results survive a worker crash.
+        #: The serial runner classifies them ``worker_error`` directly,
+        #: keeping serial and parallel reports identical.
+        self.crash_run_ids = tuple(crash_run_ids)
 
     def workload_seeds(self) -> list[int]:
         return [self.seed + i for i in range(self.n_apps)]

@@ -53,6 +53,7 @@ class PciPlatformConfig:
         response_capacity: int = 4,
         monitor_strict: bool = True,
         app_think_time: int = 0,
+        resilience: object | None = None,
     ) -> None:
         self.clock_period = clock_period
         self.mem_size = mem_size
@@ -68,6 +69,23 @@ class PciPlatformConfig:
         #: fs of local work each application simulates between commands
         #: (0 = back-to-back traffic; >0 leaves idle bus cycles).
         self.app_think_time = app_think_time
+        #: Optional :class:`repro.resilience.ResilienceConfig`; when set,
+        #: builders wire call-level retry + protocol replay onto the
+        #: interface element (applications stay untouched). None keeps
+        #: the recovery-free fast path — the shipping default.
+        self.resilience = resilience
+
+
+def _maybe_apply_resilience(interface, config: "PciPlatformConfig") -> None:
+    """Arm the interface element when the config carries a resilience
+    configuration (applied after synthesis, so lowered channels are
+    handled: call-level policies only take effect on behavioural
+    channels, protocol replay works at every refinement level)."""
+    if config.resilience is None:
+        return
+    from ..resilience import apply_resilience
+
+    apply_resilience(interface, config.resilience)
 
 
 class PlatformBundle:
@@ -133,6 +151,7 @@ def build_functional_platform(
 
     top = FunctionalTop(sim, "top")
     interface = top.interface
+    _maybe_apply_resilience(top.interface, config)
     handle = PlatformHandle(
         sim, top.apps, label,
         quiesce=lambda: (
@@ -212,6 +231,7 @@ def build_pci_platform(
     if label is None:
         label = "post_synthesis" if synthesize else "pin_accurate"
     interface = top.interface
+    _maybe_apply_resilience(top.interface, config)
     handle = PlatformHandle(
         sim, top.apps, label,
         quiesce=lambda: (
@@ -289,6 +309,7 @@ def build_wishbone_platform(
     if label is None:
         label = "wishbone_post_synthesis" if synthesize else "wishbone"
     interface = top.interface
+    _maybe_apply_resilience(top.interface, config)
     handle = PlatformHandle(
         sim, top.apps, label,
         quiesce=lambda: (

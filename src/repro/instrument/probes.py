@@ -42,6 +42,12 @@ kind                  callback arguments
                       design
 ``detection``         ``(record,)`` — a runtime checker fired (a
                       :class:`~repro.kernel.simulator.DetectionRecord`)
+``resilience.timeout`` ``(event,)`` — a guarded call or protocol operation
+                      blew its deadline (a :class:`ResilienceEvent`)
+``resilience.retry``  ``(event,)`` — a recovery layer re-issued the work
+``resilience.giveup`` ``(event,)`` — recovery exhausted its attempt budget
+``resilience.recovered`` ``(event,)`` — a previously failed call/operation
+                      completed after one or more recovery attempts
 ===================== =========================================================
 
 Hot kernel paths (signal commits, event triggers, the delta loop) call
@@ -71,6 +77,10 @@ TRANSACTION_END = "transaction.end"
 FLOW_STAGE = "flow.stage"
 FAULT_ACTIVATE = "fault.activate"
 DETECTION = "detection"
+RESILIENCE_TIMEOUT = "resilience.timeout"
+RESILIENCE_RETRY = "resilience.retry"
+RESILIENCE_GIVEUP = "resilience.giveup"
+RESILIENCE_RECOVERED = "resilience.recovered"
 
 #: Every probe kind the bus understands, in catalogue order.
 PROBE_KINDS: tuple[str, ...] = (
@@ -90,6 +100,10 @@ PROBE_KINDS: tuple[str, ...] = (
     FLOW_STAGE,
     FAULT_ACTIVATE,
     DETECTION,
+    RESILIENCE_TIMEOUT,
+    RESILIENCE_RETRY,
+    RESILIENCE_GIVEUP,
+    RESILIENCE_RECOVERED,
 )
 
 #: kind -> name of the per-kind subscriber-tuple attribute on ProbeBus.
@@ -112,6 +126,72 @@ def new_txn_id() -> int:
 
 class ProbeError(ValueError):
     """An unknown probe kind was used."""
+
+
+class ResilienceEvent:
+    """Payload of the four ``resilience.*`` probe kinds.
+
+    Lives here (rather than in :mod:`repro.resilience`) so low-level
+    emitters — the OSSS call machinery, the bus-interface dispatchers —
+    can publish recovery activity without importing the resilience
+    package.
+
+    :param kind: one of the ``resilience.*`` probe kind strings.
+    :param time: simulation time (fs) of the event.
+    :param path: hierarchical path of the recovering entity (a channel
+        handle or a bus interface).
+    :param method: guarded-method name, or an operation tag like
+        ``"mem_write"`` for protocol-level replay.
+    :param attempt: 1-based attempt number the event belongs to.
+    :param detail: free-form cause ("guard timeout", "master_abort",
+        "parity", ...).
+    """
+
+    __slots__ = ("kind", "time", "path", "method", "attempt", "detail")
+
+    def __init__(
+        self,
+        kind: str,
+        time: int,
+        path: str,
+        method: str,
+        attempt: int = 1,
+        detail: str = "",
+    ) -> None:
+        self.kind = kind
+        self.time = time
+        self.path = path
+        self.method = method
+        self.attempt = attempt
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilienceEvent({self.kind} {self.path}.{self.method} "
+            f"attempt={self.attempt}{' ' + self.detail if self.detail else ''})"
+        )
+
+
+def emit_resilience(
+    sim: typing.Any,
+    kind: str,
+    path: str,
+    method: str,
+    attempt: int = 1,
+    detail: str = "",
+) -> None:
+    """Publish one ``resilience.*`` event over *sim*'s probe bus (if any).
+
+    *sim* is duck-typed (``_probes`` + ``time``) to keep this module
+    import-free; emitters across the OSSS and protocol layers share this
+    one helper so payload construction stays behind the null-bus check.
+    """
+    probes = sim._probes
+    if probes is not None:
+        probes.emit(
+            kind,
+            ResilienceEvent(kind, sim.time, path, method, attempt, detail),
+        )
 
 
 class ProbeBus:

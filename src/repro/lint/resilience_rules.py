@@ -1,0 +1,75 @@
+"""Resilience-coverage rules (RES0xx).
+
+The guard analyses (GRD0xx) prove liveness where they can; RES001 flags
+the leftover risk: a guarded method a workload actually calls whose
+guard is *not* provably live — not initially true and with no other
+method able to enable it — and that also has no
+:class:`~repro.resilience.policy.RetryPolicy` attached. Such a call can
+block its caller forever, and nothing (neither the state machine nor
+the recovery layer) bounds the wait.
+
+The fix is either structural (make some method write the guarded
+attributes) or declarative (attach a retry policy so the caller gets a
+:class:`~repro.errors.GuardTimeoutError` instead of a silent deadlock).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .astutils import UNRESOLVED
+from .context import DesignContext
+from .diagnostics import Diagnostic, Severity
+from .engine import DESIGN, LintRule, register
+from .guard_rules import GuardWaitCycleRule
+
+
+@register
+class UnprotectedGuardedCallRule(LintRule):
+    """A reachable guarded call with neither provable liveness nor a
+    retry policy."""
+
+    rule_id = "RES001"
+    name = "unprotected-guarded-call"
+    target = DESIGN
+    default_severity = Severity.WARNING
+    description = (
+        "guarded calls that can block forever should carry a RetryPolicy "
+        "when their guard is not provably live"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        sites = GuardWaitCycleRule._call_sites(design)
+        seen: set[tuple[str, str]] = set()
+        for site in sites:
+            group = site["group"]
+            method = site["method"]
+            descriptor = site["descriptor"]
+            if descriptor is None or descriptor.guard is None:
+                continue
+            key = (group.path, method)
+            if key in seen:
+                continue
+            seen.add(key)
+            policies = getattr(group.space, "retry_policies", {})
+            if method in policies or "*" in policies:
+                continue
+            value = group.eval_guard(descriptor)
+            if value is not UNRESOLVED and value:
+                continue  # open from the start: callers proceed
+            reads = group.guard_reads(descriptor)
+            if reads:
+                writers = group.enabling_writers(reads)
+                # A method's own writes only run after its guard passed,
+                # so they cannot enable it.
+                writers.discard(method)
+                if writers:
+                    continue  # some other method can open the guard
+            yield self.emit(
+                f"{group.path}.{method}",
+                "guard is not provably live (not initially true, no other "
+                "method writes what it reads) and the call carries no "
+                "retry policy: callers can block forever",
+                "attach a RetryPolicy (repro.resilience.attach_retry_"
+                "policy) or make another method write the guarded state",
+            )

@@ -27,6 +27,7 @@ from . import fault_rules as _fault_rules    # noqa: F401  (rule registration)
 from . import guard_rules as _guard_rules    # noqa: F401
 from . import ir_rules as _ir_rules          # noqa: F401
 from . import module_rules as _module_rules  # noqa: F401
+from . import resilience_rules as _resilience_rules  # noqa: F401
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..fault.spec import CampaignSpec

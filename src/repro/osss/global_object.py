@@ -28,6 +28,11 @@ from ..instrument.probes import (
     METHOD_GRANT,
     METHOD_GUARD_BLOCK,
     METHOD_QUEUE,
+    RESILIENCE_GIVEUP,
+    RESILIENCE_RECOVERED,
+    RESILIENCE_RETRY,
+    RESILIENCE_TIMEOUT,
+    emit_resilience,
 )
 from ..kernel.event import AnyOf, Event
 from ..kernel.process import Timeout
@@ -61,6 +66,11 @@ class SharedStateSpace:
         self.service_time = service_time
         self.methods: dict[str, GuardedMethodDescriptor] = guarded_methods_of(cls)
         self.pending: list[MethodRequest] = []
+        #: method name (or ``"*"``) -> retry policy, consulted by
+        #: :meth:`GlobalObject.call` when no explicit timeout is given.
+        #: Policies are duck-typed (see :mod:`repro.resilience.policy`)
+        #: so this layer stays free of resilience imports.
+        self.retry_policies: dict[str, object] = {}
         self.stats = RequestStats()
         self.busy = False
         self._activity = Event(sim.scheduler, f"{name}.activity")
@@ -109,6 +119,7 @@ class SharedStateSpace:
         self._activity.notify()
 
     def cancel(self, request: MethodRequest) -> None:
+        request.cancelled = True
         try:
             self.pending.remove(request)
         except ValueError:
@@ -184,6 +195,13 @@ class SharedStateSpace:
                 probes.emit(METHOD_GRANT, scheduler.time, self, request)
             if self.service_time > 0:
                 yield Timeout(self.service_time)
+            if request.cancelled:
+                # The caller gave up (timeout/retry) while the call sat
+                # in service; executing it now would let an abandoned
+                # call take effect — possibly twice, after a resubmit.
+                self.busy = False
+                yield Timeout(0)
+                continue
             descriptor = self.descriptor(request.method)
             try:
                 request.result = descriptor.invoke(
@@ -327,6 +345,10 @@ class GlobalObject:
                 keep._explicit_arbiter is None:
             # Carry the dropped handle's arbiter into the surviving space.
             keep_space.arbiter = drop._explicit_arbiter
+        # Retry policies attached before the connect survive the merge;
+        # the surviving space's own entries win on conflicts.
+        for method, policy in drop_space.retry_policies.items():
+            keep_space.retry_policies.setdefault(method, policy)
         drop_space.server.kill()
         drop._space = None
         drop._group_parent = keep
@@ -374,6 +396,14 @@ class GlobalObject:
             )
             return result
         space = self.space
+        if timeout is None and space.retry_policies:
+            policy = space.retry_policies.get(method) \
+                or space.retry_policies.get("*")
+            if policy is not None:
+                result = yield from self._call_with_policy(
+                    space, policy, method, args, kwargs, client, priority
+                )
+                return result
         scheduler = self.sim.scheduler
         done = Event(scheduler, f"{self.path}.{method}.done")
         request = MethodRequest(
@@ -400,6 +430,96 @@ class GlobalObject:
         if request.error is not None:
             raise request.error
         return request.result
+
+    def _call_with_policy(
+        self,
+        space: SharedStateSpace,
+        policy: typing.Any,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        client: str | None,
+        priority: int,
+    ):
+        """Bounded attempts with per-attempt deadlines and backoff.
+
+        *policy* is duck-typed: ``max_attempts``, ``attempt_timeout(n)``
+        and ``backoff_schedule(*keys)`` — see
+        :class:`~repro.resilience.policy.RetryPolicy`. A guard that
+        never fires becomes a :class:`~repro.errors.GuardTimeoutError`
+        in the caller instead of a hung process; recovery activity is
+        published as ``resilience.*`` probes.
+        """
+        scheduler = self.sim.scheduler
+        client_id = client or self.path
+        backoffs = policy.backoff_schedule(client_id, method, scheduler.time)
+        max_attempts = policy.max_attempts
+        timed_out = False
+        for attempt in range(1, max_attempts + 1):
+            done = Event(scheduler, f"{self.path}.{method}.done")
+            request = MethodRequest(
+                client=client_id,
+                method=method,
+                args=args,
+                kwargs=kwargs,
+                arrival_time=scheduler.time,
+                done_event=done,
+                priority=priority,
+            )
+            space.submit(request)
+            deadline = policy.attempt_timeout(attempt)
+            expiry = Event(scheduler, f"{self.path}.{method}.deadline")
+            expiry.notify_after(deadline)
+            yield AnyOf(done, expiry)
+            if request.completed:
+                if request.error is not None:
+                    raise request.error
+                if timed_out:
+                    emit_resilience(
+                        self.sim, RESILIENCE_RECOVERED, self.path, method,
+                        attempt, "guard timeout",
+                    )
+                return request.result
+            timed_out = True
+            space.cancel(request)
+            emit_resilience(
+                self.sim, RESILIENCE_TIMEOUT, self.path, method, attempt,
+                f"no completion within {deadline} fs",
+            )
+            if attempt == max_attempts:
+                break
+            delay = backoffs[attempt - 1]
+            if delay:
+                yield Timeout(delay)
+            emit_resilience(
+                self.sim, RESILIENCE_RETRY, self.path, method, attempt + 1,
+            )
+        emit_resilience(
+            self.sim, RESILIENCE_GIVEUP, self.path, method, max_attempts,
+            "attempts exhausted",
+        )
+        raise GuardTimeoutError(
+            f"call {self.path}.{method} gave up after {max_attempts} "
+            f"attempts (policy {policy!r})"
+        )
+
+    def set_retry_policy(
+        self, policy: typing.Any, *methods: str
+    ) -> "GlobalObject":
+        """Attach *policy* to this handle's connection group.
+
+        With no *methods*, the policy covers every method that has no
+        explicit policy of its own (the ``"*"`` slot). Returns ``self``
+        for chaining.
+        """
+        for method in methods or ("*",):
+            self.space.retry_policies[method] = policy
+        return self
+
+    def retry_policy_for(self, method: str) -> typing.Any:
+        """The policy :meth:`call` would apply to *method* (or None)."""
+        policies = self.space.retry_policies
+        return policies.get(method) or policies.get("*")
 
     def try_call(self, method: str, *args: object, **kwargs: object):
         """Non-blocking variant: ``(granted, result)``, never suspends."""

@@ -39,11 +39,19 @@ class MethodRequest:
         self.result: object = None
         self.error: BaseException | None = None
         self.completed = False
+        #: Set when the caller abandoned the request (timeout/retry); a
+        #: cancelled request that was already granted is *not* executed,
+        #: so an abandoned-then-retried call cannot take effect twice.
+        self.cancelled = False
         self.grant_time: int | None = None
         self.complete_time: int | None = None
 
     def __repr__(self) -> str:
-        state = "done" if self.completed else "pending"
+        state = (
+            "done" if self.completed
+            else "cancelled" if self.cancelled
+            else "pending"
+        )
         return f"MethodRequest({self.client}->{self.method}, {state})"
 
     @property

@@ -65,11 +65,17 @@ class PciMaster(Module):
         self._queue: deque[tuple[PciOperation, Event]] = deque()
         self._op_available = self.event("op_available")
         self._drove_ad = False
+        #: When True, read data phases are checked against the PAR the
+        #: target drives one cycle later (PERR#-style detection); a
+        #: mismatch flags ``operation.parity_error``.
+        self.check_parity = False
+        self._parity_pending: tuple[int, PciOperation] | None = None
         # Statistics.
         self.ops_completed = 0
         self.words_transferred = 0
         self.retries_seen = 0
         self.aborts_seen = 0
+        self.parity_errors_seen = 0
         self.thread(self._engine, "engine")
 
     # -- public API ----------------------------------------------------------
@@ -206,6 +212,13 @@ class PciMaster(Module):
                             f"{self.sim.time_str()}"
                         )
                     operation.data.append(data.to_int())
+                    if self.check_parity:
+                        cbe = bus.cbe_n.read()
+                        if cbe.is_fully_defined:
+                            self._parity_pending = (
+                                parity_of(data.to_int(), cbe.to_int()),
+                                operation,
+                            )
                 transferred += 1
                 words_done += 1
                 self.words_transferred += 1
@@ -258,7 +271,20 @@ class PciMaster(Module):
         self._drove_ad = driving
 
     def _parity_duty(self) -> None:
-        """Drive PAR for the cycle that just ended if we owned AD in it."""
+        """Drive PAR for the cycle that just ended if we owned AD in it.
+
+        Also the check point for read-data parity: PAR lags AD by one
+        cycle, so the expectation recorded at a data transfer is compared
+        against the wire here, one posedge later.
+        """
+        pending = self._parity_pending
+        if pending is not None:
+            self._parity_pending = None
+            expected, operation = pending
+            par = self.bus.par.read()
+            if par.is_fully_defined and par.to_int() != expected:
+                operation.parity_error = True
+                self.parity_errors_seen += 1
         if self._drove_ad:
             ad = self.bus.ad.read()
             cbe = self.bus.cbe_n.read()

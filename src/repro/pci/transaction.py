@@ -66,6 +66,10 @@ class PciOperation:
         # Result fields, filled in by the master.
         self.status = STATUS_PENDING
         self.retries = 0
+        #: Read-data PAR mismatch observed (PERR#-style detection). Only
+        #: populated when the master runs with ``check_parity`` enabled;
+        #: the status may still be ``ok`` — corrupted data was accepted.
+        self.parity_error = False
         self.enqueue_time: int | None = None
         self.start_time: int | None = None
         #: Time the arbiter first granted the bus for this operation.

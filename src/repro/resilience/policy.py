@@ -1,0 +1,163 @@
+"""Declarative retry policies for guarded calls and protocol replay.
+
+A :class:`RetryPolicy` turns a blocking guarded-method call into a
+bounded sequence of attempts: each attempt gets a sim-time deadline;
+between attempts the caller backs off exponentially, with deterministic
+jitter drawn from the same seeded LCG family the workload generator and
+the campaign expander use. A call that exhausts its attempts raises
+:class:`~repro.errors.GuardTimeoutError` in the *caller* — the failure
+surfaces where it can be handled instead of hanging a process forever.
+
+Policies are plain picklable data. They are attached to a shared state
+space (per method, or ``"*"`` for all methods) and consulted by
+:meth:`~repro.osss.global_object.GlobalObject.call` through duck typing,
+so the OSSS layer never imports this package.
+"""
+
+from __future__ import annotations
+
+import typing
+import zlib
+
+from ..core.workload import _Lcg
+from ..errors import SimulationError
+from ..kernel.simtime import US
+
+#: Policy key meaning "every method of the shared class".
+ALL_METHODS = "*"
+
+
+class RetryPolicy:
+    """Timeout + bounded exponential backoff for one guarded method.
+
+    :param timeout: fs each attempt may take before it is cancelled.
+    :param max_attempts: total attempts (first call + retries).
+    :param backoff: fs of delay before the first retry.
+    :param multiplier: backoff growth factor per retry.
+    :param max_backoff: fs cap on any single backoff delay.
+    :param jitter: fraction of each delay randomised (``0.1`` = ±10%),
+        drawn deterministically from *seed* and the call identity so
+        serial and parallel campaign runs see identical schedules.
+    :param seed: base seed of the jitter stream.
+    """
+
+    def __init__(
+        self,
+        timeout: int = 20 * US,
+        max_attempts: int = 4,
+        backoff: int = 2 * US,
+        multiplier: float = 2.0,
+        max_backoff: int = 50 * US,
+        jitter: float = 0.1,
+        seed: int = 11,
+    ) -> None:
+        if timeout <= 0:
+            raise SimulationError(f"RetryPolicy timeout must be > 0 fs, got {timeout}")
+        if max_attempts < 1:
+            raise SimulationError(
+                f"RetryPolicy max_attempts must be >= 1, got {max_attempts}"
+            )
+        if backoff < 0 or max_backoff < 0:
+            raise SimulationError("RetryPolicy backoff delays must be >= 0")
+        if multiplier < 1.0:
+            raise SimulationError(
+                f"RetryPolicy multiplier must be >= 1.0, got {multiplier}"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError(f"RetryPolicy jitter must be in [0, 1), got {jitter}")
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.multiplier = multiplier
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(timeout={self.timeout}, attempts={self.max_attempts}, "
+            f"backoff={self.backoff}x{self.multiplier})"
+        )
+
+    # -- deterministic schedules --------------------------------------------
+
+    def stream(self, *keys: object) -> _Lcg:
+        """The jitter LCG for one call identity.
+
+        Keys are folded in with CRC32 (stable across processes, unlike
+        ``hash``), so the schedule for ``(client, method, arrival_time)``
+        is reproducible in any worker.
+        """
+        mixed = self.seed & 0x7FFFFFFF
+        for key in keys:
+            mixed ^= zlib.crc32(str(key).encode("utf-8")) & 0x7FFFFFFF
+        return _Lcg(mixed)
+
+    def backoff_schedule(self, *keys: object) -> list[int]:
+        """Delays (fs) before retries 1..max_attempts-1, jitter applied."""
+        rng = self.stream(*keys)
+        delays: list[int] = []
+        delay = float(self.backoff)
+        for __ in range(self.max_attempts - 1):
+            bounded = min(delay, float(self.max_backoff))
+            if self.jitter and bounded > 0:
+                # Uniform in [-jitter, +jitter], from one 31-bit draw.
+                unit = rng.next_int(0x7FFFFFFF) / float(0x7FFFFFFE)
+                bounded *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+            delays.append(max(0, int(bounded)))
+            delay *= self.multiplier
+        return delays
+
+    def attempt_timeout(self, attempt: int) -> int:
+        """Deadline (fs) of 1-based *attempt*; constant in this policy."""
+        return self.timeout
+
+
+def attach_retry_policy(
+    handle: typing.Any,
+    policy: RetryPolicy,
+    methods: typing.Sequence[str] = (ALL_METHODS,),
+) -> RetryPolicy:
+    """Attach *policy* to a global-object handle (or a state space).
+
+    :param handle: a :class:`~repro.osss.global_object.GlobalObject` or
+        its :class:`~repro.osss.global_object.SharedStateSpace`.
+    :param methods: method names to cover; ``"*"`` covers every method
+        without an explicit policy of its own.
+    """
+    space = getattr(handle, "space", handle)
+    policies = getattr(space, "retry_policies", None)
+    if policies is None:
+        raise SimulationError(
+            f"{handle!r} does not accept retry policies (no state space)"
+        )
+    for method in methods:
+        policies[method] = policy
+    return policy
+
+
+def default_guard_policy(seed: int = 11) -> RetryPolicy:
+    """The stock policy campaigns attach to application-side methods.
+
+    Sized against the demo campaign: fault windows span a quarter of the
+    golden horizon (~50 µs at the default spec), so four attempts with
+    20 µs deadlines and 4→8→16 µs backoffs outlive any single window
+    while staying well inside ``CampaignSpec.max_time``.
+    """
+    return RetryPolicy(
+        timeout=20 * US,
+        max_attempts=4,
+        backoff=4 * US,
+        multiplier=2.0,
+        max_backoff=20 * US,
+        jitter=0.1,
+        seed=seed,
+    )
+
+
+__all__ = [
+    "ALL_METHODS",
+    "RetryPolicy",
+    "attach_retry_policy",
+    "default_guard_policy",
+]

@@ -54,11 +54,23 @@ class WishboneBusInterface(BusInterface):
         self.operations_failed = 0
         self.thread(self._dispatch, "dispatch")
 
+    @staticmethod
+    def _operation_failure(operation) -> str | None:
+        return None if operation.status == "ok" else operation.status
+
     def _dispatch(self):
         while True:
             epoch, command = yield from self.channel.call("get_command")
-            operation = _to_wishbone_operation(command)
-            yield from self.master.transact(operation)
+            if self.recovery is None:
+                operation = _to_wishbone_operation(command)
+                yield from self.master.transact(operation)
+            else:
+                operation = yield from self._transact_with_recovery(
+                    command,
+                    _to_wishbone_operation,
+                    self.master.transact,
+                    self._operation_failure,
+                )
             self.commands_serviced += 1
             if operation.status != "ok":
                 self.operations_failed += 1

@@ -1,0 +1,94 @@
+"""RES001: guarded calls with neither provable liveness nor a policy."""
+
+from repro.hdl.module import Module
+from repro.kernel.simulator import Simulator
+from repro.lint import Severity, lint_design
+from repro.osss.global_object import GlobalObject
+from repro.osss.guarded_method import guarded_method
+from repro.resilience import RetryPolicy, attach_retry_policy
+
+
+class _StuckCell:
+    """take() waits on a flag no method ever writes."""
+
+    def __init__(self):
+        self.ready = False
+
+    @guarded_method(lambda self: self.ready)
+    def take(self):
+        return 1
+
+
+class _LiveCell:
+    """Same guard shape, but arm() can open it."""
+
+    def __init__(self):
+        self.ready = False
+
+    @guarded_method(lambda self: self.ready)
+    def take(self):
+        return 1
+
+    def arm(self):
+        self.ready = True
+
+
+class _OpenCell:
+    """Guard is true from reset: callers proceed immediately."""
+
+    def __init__(self):
+        self.ready = True
+
+    @guarded_method(lambda self: self.ready)
+    def take(self):
+        return 1
+
+
+def _host(cell_cls, n_callers=1):
+    sim = Simulator()
+
+    class Host(Module):
+        def __init__(self, parent, name):
+            super().__init__(parent, name)
+            self.obj = GlobalObject(self, "obj", cell_cls)
+            for i in range(n_callers):
+                self.thread(self._work, f"work{i}")
+
+        def _work(self):
+            yield from self.obj.call("take")
+
+    return sim, Host(sim, "top")
+
+
+class TestRes001:
+    def test_unprotected_dead_guard_call_warns(self):
+        sim, __ = _host(_StuckCell)
+        diagnostics = lint_design(sim).by_rule("RES001")
+        assert len(diagnostics) == 1
+        (diag,) = diagnostics
+        assert diag.severity is Severity.WARNING
+        assert diag.path == "top.obj.take"
+        assert "retry policy" in diag.message
+        assert "RetryPolicy" in diag.hint
+
+    def test_one_warning_per_method_not_per_call_site(self):
+        sim, __ = _host(_StuckCell, n_callers=3)
+        assert len(lint_design(sim).by_rule("RES001")) == 1
+
+    def test_attached_policy_silences_the_rule(self):
+        sim, host = _host(_StuckCell)
+        attach_retry_policy(host.obj, RetryPolicy(), ("take",))
+        assert not lint_design(sim).by_rule("RES001")
+
+    def test_wildcard_policy_silences_the_rule(self):
+        sim, host = _host(_StuckCell)
+        attach_retry_policy(host.obj, RetryPolicy())
+        assert not lint_design(sim).by_rule("RES001")
+
+    def test_enabling_writer_proves_liveness(self):
+        sim, __ = _host(_LiveCell)
+        assert not lint_design(sim).by_rule("RES001")
+
+    def test_initially_open_guard_is_clean(self):
+        sim, __ = _host(_OpenCell)
+        assert not lint_design(sim).by_rule("RES001")
