@@ -19,6 +19,9 @@ Commands:
 * ``spans``       — causal transaction tracing: span trees with latency
   attribution and critical paths over a script, or a per-transaction
   cross-refinement diff (``--diff A B``, ``--json``, ``--chrome``).
+* ``analyze``     — netlist dataflow analysis over a script's synthesis
+  runs: driver conflicts, comb-loop levelization, FSM reachability,
+  X-propagation and shared-state races (``--schedule``, ``--format``).
 
 Every command honours the global ``--seed``: repeated invocations with
 the same seed are bit-identical.
@@ -146,6 +149,12 @@ def _cmd_spans(args: argparse.Namespace) -> int:
     return trace_cli.run(args)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analyze import cli as analyze_cli
+
+    return analyze_cli.run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     bundle = build_pci_platform(
         _default_workloads(_effective_seed(args), args.commands),
@@ -204,6 +213,12 @@ def main(argv: "list[str] | None" = None) -> int:
     from .trace import cli as trace_cli
 
     trace_cli.add_arguments(spans)
+    analyze = sub.add_parser(
+        "analyze", help="netlist dataflow analysis over a script"
+    )
+    from .analyze import cli as analyze_cli
+
+    analyze_cli.add_arguments(analyze)
     args = parser.parse_args(argv)
     handlers = {
         "flow": _cmd_flow,
@@ -215,6 +230,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "fault": _cmd_fault,
         "profile": _cmd_profile,
         "spans": _cmd_spans,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

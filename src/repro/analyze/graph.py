@@ -1,0 +1,165 @@
+"""Whole-module driver/reader graph.
+
+The graph answers, for every named net of an :class:`RtlModule`, two
+questions every analysis pass needs: *what drives it* (and with which
+kind of logic) and *who reads it*. Drivers are classified so the rules
+can tell a legal single comb assign from a comb/clocked conflict:
+
+* ``"assign"`` — a continuous combinational assignment;
+* ``"clocked"`` — a registered assignment at the clock edge;
+* ``"fsm-state"`` — an FSM's next-state logic owning its state register;
+* ``"fsm-output"`` — an FSM's Moore output decoder (one driver per FSM
+  per net, however many states set it).
+
+Reader entries are the :class:`~repro.synthesis.ir.ExprSite` occurrences
+whose expression references the net. All keying is by net *identity*
+(``id``), matching the IR's aliasing semantics: two modules may reuse a
+name, but a net object is one wire.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..synthesis import ir
+
+
+class Driver:
+    """One structural driver of a net."""
+
+    __slots__ = ("kind", "label", "target", "sources", "expr_width")
+
+    def __init__(
+        self,
+        kind: str,
+        label: str,
+        target: ir.Net,
+        sources: typing.Sequence[ir.Net],
+        expr_width: int | None = None,
+    ) -> None:
+        self.kind = kind
+        self.label = label
+        self.target = target
+        #: Nets this driver reads (deduplicated, identity-keyed order).
+        self.sources = list(sources)
+        #: Width of the driving expression (``None`` for FSM drivers,
+        #: whose decode always matches the target by construction).
+        self.expr_width = expr_width
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.kind in ("assign", "fsm-output")
+
+    def __repr__(self) -> str:
+        return f"Driver({self.kind} -> {self.target.name})"
+
+
+def _unique_nets(nets: typing.Iterable[ir.Net]) -> list[ir.Net]:
+    seen: dict[int, ir.Net] = {}
+    for net in nets:
+        seen.setdefault(id(net), net)
+    return list(seen.values())
+
+
+class NetGraph:
+    """Driver/reader graph of one module.
+
+    Build once per module, query many times — every NET/FSM analysis
+    and the :class:`~repro.analyze.schedule.EvalSchedule` levelization
+    run off the same instance.
+    """
+
+    def __init__(self, module: ir.RtlModule) -> None:
+        self.module = module
+        self._drivers: dict[int, list[Driver]] = {}
+        self._readers: dict[int, list[ir.ExprSite]] = {}
+        self._nets: dict[int, ir.Net] = {
+            id(net): net for net in module.all_nets()
+        }
+        self._build()
+
+    def _build(self) -> None:
+        module = self.module
+        for site in module.iter_expr_sites():
+            for net in site.expr.referenced_nets():
+                self._nets.setdefault(id(net), net)
+                self._readers.setdefault(id(net), []).append(site)
+        for assign in module.assigns:
+            self._add(Driver(
+                "assign", f"assign {assign.target.name}", assign.target,
+                _unique_nets(assign.expr.referenced_nets()),
+                assign.expr.width,
+            ))
+        for clocked in module.clocked_assigns:
+            reads = list(clocked.expr.referenced_nets())
+            if clocked.enable is not None:
+                reads.extend(clocked.enable.referenced_nets())
+            self._add(Driver(
+                "clocked", f"clocked assign {clocked.target.name}",
+                clocked.target, _unique_nets(reads), clocked.expr.width,
+            ))
+        for fsm in module.fsms:
+            condition_reads: list[ir.Net] = []
+            for transition in fsm.transitions:
+                if transition.condition is not None:
+                    condition_reads.extend(
+                        transition.condition.referenced_nets()
+                    )
+            self._add(Driver(
+                "fsm-state", f"{fsm.name} next-state logic",
+                fsm.state_register, _unique_nets(condition_reads),
+            ))
+            moore_nets: dict[int, ir.Net] = {}
+            for outputs in fsm.moore_outputs.values():
+                for net, __ in outputs:
+                    moore_nets.setdefault(id(net), net)
+            for net in moore_nets.values():
+                self._nets.setdefault(id(net), net)
+                self._add(Driver(
+                    "fsm-output", f"{fsm.name} output decoder", net,
+                    [fsm.state_register],
+                ))
+
+    def _add(self, driver: Driver) -> None:
+        self._nets.setdefault(id(driver.target), driver.target)
+        self._drivers.setdefault(id(driver.target), []).append(driver)
+
+    # -- queries ---------------------------------------------------------------
+
+    def nets(self) -> list[ir.Net]:
+        """Every net the graph knows about (module lists plus strays)."""
+        return list(self._nets.values())
+
+    def drivers_of(self, net: ir.Net) -> list[Driver]:
+        return self._drivers.get(id(net), [])
+
+    def readers_of(self, net: ir.Net) -> list[ir.ExprSite]:
+        return self._readers.get(id(net), [])
+
+    def comb_drivers_of(self, net: ir.Net) -> list[Driver]:
+        return [d for d in self.drivers_of(net) if d.is_combinational]
+
+    def is_comb_driven(self, net: ir.Net) -> bool:
+        return bool(self.comb_drivers_of(net))
+
+    def comb_dependencies(self) -> dict[int, set[int]]:
+        """``id(target) -> {id(source), ...}`` over combinational drivers.
+
+        Only sources that are themselves combinationally driven appear —
+        registers and input ports are level-0 boundary values, not graph
+        edges. This is exactly the dependency relation the levelizer
+        topologically sorts.
+        """
+        edges: dict[int, set[int]] = {}
+        for net_id, drivers in self._drivers.items():
+            for driver in drivers:
+                if not driver.is_combinational:
+                    continue
+                deps = edges.setdefault(net_id, set())
+                for source in driver.sources:
+                    if self.is_comb_driven(source):
+                        deps.add(id(source))
+        return edges
+
+    def net_by_id(self, net_id: int) -> ir.Net:
+        return self._nets[net_id]

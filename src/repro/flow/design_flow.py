@@ -10,6 +10,7 @@ Stages::
         -> communication refinement       (library interface swap)
         -> implementation model           (pin-accurate bus interface)
         -> communication synthesis        (the ODETTE tool)
+        -> post-synthesis netlist analysis (driver/loop/FSM/race checks)
         -> post-synthesis validation      (re-simulate, check consistency)
 
 The lint stage runs the static design rules (:mod:`repro.lint`) over
@@ -70,6 +71,9 @@ class FlowReport:
         self.synthesis_check: ConsistencyReport | None = None
         self.synthesis_result: object | None = None
         self.lint_report: LintReport | None = None
+        #: :class:`~repro.analyze.AnalysisReport` of the synthesized
+        #: netlists (None when the analysis stage did not run).
+        self.analysis_report: object | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -167,6 +171,25 @@ class DesignFlow:
             report.synthesis_result = synthesis
             report.post_synthesis_result = platform.run(max_time)
             stage.detail = repr(report.post_synthesis_result)
+
+        with _stage(report, self._probe_bus, "post-synthesis netlist analysis") as stage:
+            # Gate: the synthesized netlists must pass the dataflow
+            # analyses (driver conflicts, comb loops, FSM liveness,
+            # X-prop, shared-state races) before the design goes on to
+            # the consistency check.
+            from ..analyze import analyze_design
+
+            analysis = analyze_design(
+                synthesis, platform.sim, self.lint_config,
+                label="post-synthesis",
+            )
+            report.analysis_report = analysis
+            stage.detail = analysis.summary_line()
+            if analysis.has_errors:
+                raise SynthesisError(
+                    "netlist analysis violations block the flow:\n"
+                    + analysis.lint.render()
+                )
 
         with _stage(report, self._probe_bus, "post-synthesis validation") as stage:
             assert report.implementation_result and report.post_synthesis_result

@@ -50,6 +50,7 @@ from .probes import (
     set_default_bus,
 )
 from .profiler import ProfileReport, WallClockProfiler
+from .sanitizer import RaceObservation, RaceSanitizer
 
 __all__ = [
     "Counter",
@@ -72,6 +73,8 @@ __all__ = [
     "PROCESS_SUSPEND",
     "ProbeBus",
     "ProfileReport",
+    "RaceObservation",
+    "RaceSanitizer",
     "SIGNAL_COMMIT",
     "TRANSACTION_BEGIN",
     "TRANSACTION_END",

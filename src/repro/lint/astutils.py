@@ -39,18 +39,36 @@ PURE_BUILTINS = frozenset({
 
 _module_ast_cache: dict[str, "ast.Module | None"] = {}
 
+#: Counters behind ``benchmarks/bench_lint_parse.py``: how many source
+#: files were actually parsed and how many whole-module AST walks
+#: ``callable_ast`` performed (vs. answered from its memo). Snapshot
+#: with :func:`parse_counters` before/after a run and diff.
+parse_stats = {"module_parses": 0, "ast_walks": 0, "cache_hits": 0}
+
+
+def parse_counters() -> dict[str, int]:
+    """A snapshot copy of :data:`parse_stats`."""
+    return dict(parse_stats)
+
 
 def _module_ast(filename: str) -> "ast.Module | None":
     if filename not in _module_ast_cache:
         try:
             with open(filename, "r", encoding="utf-8") as handle:
                 _module_ast_cache[filename] = ast.parse(handle.read())
+            parse_stats["module_parses"] += 1
         except (OSError, SyntaxError, ValueError):
             _module_ast_cache[filename] = None
     return _module_ast_cache[filename]
 
 
 FunctionNode = typing.Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+#: ``code object -> resolved AST node``: one whole-module walk per
+#: distinct function, ever, no matter how many rules ask. Keyed by the
+#: code object (not the callable) so every bound method of a class and
+#: each re-wrapped descriptor of the same function hit one entry.
+_callable_ast_cache: dict[typing.Any, "FunctionNode | None"] = {}
 
 
 def callable_ast(func: typing.Callable) -> FunctionNode | None:
@@ -59,16 +77,22 @@ def callable_ast(func: typing.Callable) -> FunctionNode | None:
     Works for lambdas buried in decorator expressions by parsing the
     whole source file and matching on name/line instead of relying on
     ``inspect.getsource`` (which returns unparseable fragments there).
+    Results are memoized per code object.
     """
     func = inspect.unwrap(func)
     func = getattr(func, "__func__", func)
     code = getattr(func, "__code__", None)
     if code is None:
         return None
+    if code in _callable_ast_cache:
+        parse_stats["cache_hits"] += 1
+        return _callable_ast_cache[code]
     filename = code.co_filename
     tree = _module_ast(filename)
     if tree is None:
+        _callable_ast_cache[code] = None
         return None
+    parse_stats["ast_walks"] += 1
     lineno = code.co_firstlineno
     is_lambda = func.__name__ == "<lambda>"
     best: FunctionNode | None = None
@@ -89,9 +113,9 @@ def callable_ast(func: typing.Callable) -> FunctionNode | None:
         if distance < best_distance:
             best, best_distance = node, distance
     # Only accept a close match; distant same-named functions are not it.
-    if best is not None and best_distance <= 2:
-        return best
-    return None
+    result = best if best is not None and best_distance <= 2 else None
+    _callable_ast_cache[code] = result
+    return result
 
 
 def first_arg_name(node: FunctionNode) -> str | None:

@@ -13,8 +13,14 @@ import argparse
 import typing
 
 from .diagnostics import LintReport
-from .engine import LintConfig, LintRuleError, default_registry
+from .engine import (
+    LintConfig,
+    LintRuleError,
+    default_registry,
+    validate_suppressions,
+)
 from .runner import lint_design, lint_synthesis
+from .sarif import render_json, render_sarif
 
 #: Canonical platform labels, in lint order.
 TARGETS = ("functional", "pci", "pci-synth", "wishbone")
@@ -91,27 +97,57 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--format", choices=("table", "json", "sarif"), default="table",
+        help="output format: human-readable table (default), plain "
+             "JSON, or SARIF 2.1.0 for code-scanning upload",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(list_rules())
         return 0
+    entries = _split_suppressions(args.suppress)
     try:
-        config = LintConfig(
-            suppress=_split_suppressions(args.suppress),
-            strict=args.strict,
-        )
+        unknown = validate_suppressions(entries)
+        if unknown:
+            known = sorted(r.rule_id for r in default_registry.rules())
+            print(
+                "error: unknown rule in --suppress: "
+                + ", ".join(repr(u) for u in unknown)
+                + f" (known ids: {', '.join(known)})"
+            )
+            return 2
+        config = LintConfig(suppress=entries, strict=args.strict)
     except LintRuleError as exc:
         print(f"error: {exc}")
         return 2
     targets = args.target or list(TARGETS)
     failed = False
+    reports: list[LintReport] = []
     for target in targets:
         for report in _lint_target(target, config, args.seed, args.commands):
-            print(report.render())
+            reports.append(report)
             if report.has_errors:
                 failed = True
+    if args.format == "sarif":
+        text = render_sarif(reports)
+    elif args.format == "json":
+        text = render_json(reports)
+    else:
+        text = "\n".join(report.render() for report in reports)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        for report in reports:
+            print(report.summary_line())
+    else:
+        print(text)
     return 1 if failed else 0
 
 

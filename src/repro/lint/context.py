@@ -214,6 +214,18 @@ class DesignContext:
         self.global_objects: list[GlobalObject] = [
             obj for __, obj in sim.iter_named() if isinstance(obj, GlobalObject)
         ]
+        self._cache: dict[str, object] = {}
+
+    def cached(self, key: str, factory: typing.Callable[[], object]) -> object:
+        """Memoize ``factory()`` under *key* for this context's lifetime.
+
+        Rules running over the same context share expensive derived
+        analyses through this (guard group views, channel call sites),
+        so each is computed once per lint run instead of once per rule.
+        """
+        if key not in self._cache:
+            self._cache[key] = factory()
+        return self._cache[key]
 
     # -- derived maps ---------------------------------------------------------
 

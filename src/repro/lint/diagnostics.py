@@ -40,6 +40,8 @@ class Diagnostic:
     :param message: what is wrong.
     :param hint: how to fix it (optional).
     :param rule_name: the rule's symbolic name (e.g. ``"unbound-port"``).
+    :param extra: machine-readable facts about the finding (e.g. the
+        raced signal name) for downstream tooling; JSON-serializable.
     """
 
     def __init__(
@@ -50,6 +52,7 @@ class Diagnostic:
         message: str,
         hint: str = "",
         rule_name: str = "",
+        extra: typing.Mapping[str, typing.Any] | None = None,
     ) -> None:
         self.rule_id = rule_id
         self.severity = severity
@@ -57,6 +60,21 @@ class Diagnostic:
         self.message = message
         self.hint = hint
         self.rule_name = rule_name
+        self.extra: dict[str, typing.Any] = dict(extra or {})
+
+    def to_dict(self) -> dict[str, typing.Any]:
+        """JSON-ready form (used by ``--format json`` and SARIF)."""
+        payload: dict[str, typing.Any] = {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": self.severity.label(),
+            "path": self.path,
+            "message": self.message,
+            "hint": self.hint,
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
 
     def render(self) -> str:
         lines = [f"{self.severity.label()}[{self.rule_id}] {self.path}: {self.message}"]

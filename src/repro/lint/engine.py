@@ -48,11 +48,17 @@ class LintRule:
     def check(self, subject: typing.Any) -> typing.Iterator[Diagnostic]:
         raise NotImplementedError
 
-    def emit(self, path: str, message: str, hint: str = "") -> Diagnostic:
+    def emit(
+        self,
+        path: str,
+        message: str,
+        hint: str = "",
+        extra: typing.Mapping[str, typing.Any] | None = None,
+    ) -> Diagnostic:
         """Build a diagnostic pre-filled with this rule's identity."""
         return Diagnostic(
             self.rule_id, self.default_severity, path, message, hint,
-            rule_name=self.name,
+            rule_name=self.name, extra=extra,
         )
 
 
@@ -154,6 +160,30 @@ class RuleRegistry:
 #: The process-wide default registry; rule modules register into it at
 #: import time (see :mod:`repro.lint.runner`).
 default_registry = RuleRegistry()
+
+
+def validate_suppressions(
+    entries: typing.Iterable[str],
+    registry: RuleRegistry | None = None,
+) -> list[str]:
+    """Suppression entries naming rules the registry does not know.
+
+    :class:`LintConfig` itself accepts any well-formed entry (tests run
+    against ad-hoc registries); the CLIs call this to turn a typo'd
+    rule id into an error instead of a silently-useless suppression.
+    Both rule ids and symbolic rule names are accepted.
+    """
+    registry = registry if registry is not None else default_registry
+    known: set[str] = set()
+    for rule in registry.rules():
+        known.add(rule.rule_id)
+        known.add(rule.name)
+    unknown: list[str] = []
+    for entry in entries:
+        suppression = Suppression.parse(entry)
+        if suppression.rule not in known:
+            unknown.append(entry.strip())
+    return unknown
 
 
 def register(rule_cls: type) -> type:

@@ -1,0 +1,92 @@
+"""FSM liveness rules over the synthesis IR (FSM0xx).
+
+Wrappers around :mod:`repro.analyze.fsm`: reachable states with no way
+out (FSM001), transition guards that constant-fold to false (FSM002)
+and unconditional do-nothing cycles (FSM003). IR001 (plain
+unreachability) stays separate — these rules are about the *liveness*
+of the states the machine does reach.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..analyze.fsm import (
+    find_false_guards,
+    find_livelock_cycles,
+    find_terminal_states,
+)
+from ..synthesis import ir
+from .diagnostics import Diagnostic, Severity
+from .engine import IR, LintRule, register
+
+
+@register
+class TerminalStateRule(LintRule):
+    """A reachable FSM state with no live outgoing transition."""
+
+    rule_id = "FSM001"
+    name = "fsm-terminal-state"
+    target = IR
+    default_severity = Severity.ERROR
+    description = (
+        "once entered, a state with no live way out deadlocks the "
+        "protocol: grants stop, every caller hangs"
+    )
+
+    def check(self, module: ir.RtlModule) -> typing.Iterator[Diagnostic]:
+        for fsm in module.fsms:
+            for finding in find_terminal_states(fsm):
+                yield self.emit(
+                    f"{module.name}.{fsm.name}.{finding.subject}",
+                    finding.message,
+                    "add a transition out of the state (or back to "
+                    "reset)",
+                )
+
+
+@register
+class FalseGuardTransitionRule(LintRule):
+    """A transition whose condition is statically false."""
+
+    rule_id = "FSM002"
+    name = "fsm-false-transition"
+    target = IR
+    default_severity = Severity.WARNING
+    description = (
+        "a constant-false guard means the arc is dead weight — and "
+        "often means a condition was wired to the wrong constant"
+    )
+
+    def check(self, module: ir.RtlModule) -> typing.Iterator[Diagnostic]:
+        for fsm in module.fsms:
+            for finding in find_false_guards(fsm):
+                yield self.emit(
+                    f"{module.name}.{fsm.name}.{finding.subject}",
+                    finding.message,
+                    "fix the condition expression or delete the arc",
+                )
+
+
+@register
+class LivelockCycleRule(LintRule):
+    """An unconditional FSM cycle that does no protocol work."""
+
+    rule_id = "FSM003"
+    name = "fsm-livelock-cycle"
+    target = IR
+    default_severity = Severity.WARNING
+    description = (
+        "a reachable cycle with only unconditional arcs, no exit and "
+        "no outputs spins forever without granting anything"
+    )
+
+    def check(self, module: ir.RtlModule) -> typing.Iterator[Diagnostic]:
+        for fsm in module.fsms:
+            for finding in find_livelock_cycles(fsm):
+                yield self.emit(
+                    f"{module.name}.{fsm.name}.{finding.subject}",
+                    finding.message,
+                    "guard an arc of the cycle, add an exit arc, or "
+                    "make a state produce an output",
+                )

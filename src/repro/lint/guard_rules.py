@@ -51,6 +51,8 @@ class _GroupView:
             for name, node in self.method_asts.items()
             if name != "__init__"
         }
+        self._reads_cache: dict[int, set[str] | None] = {}
+        self._eval_cache: dict[int, object] = {}
 
     def guarded(self) -> list[tuple[str, typing.Any]]:
         """``(name, descriptor)`` for methods that carry a guard."""
@@ -65,12 +67,15 @@ class _GroupView:
 
         ``None`` when the guard source is unavailable.
         """
-        node = astutils.callable_ast(descriptor.guard)
-        if node is None:
-            return None
-        return astutils.expand_guard_reads(
-            self.cls, astutils.self_attr_reads(node)
-        )
+        key = id(descriptor)
+        if key not in self._reads_cache:
+            node = astutils.callable_ast(descriptor.guard)
+            self._reads_cache[key] = None if node is None else (
+                astutils.expand_guard_reads(
+                    self.cls, astutils.self_attr_reads(node)
+                )
+            )
+        return self._reads_cache[key]
 
     def enabling_writers(self, reads: set[str]) -> set[str]:
         """Methods whose writes intersect the guard's read set."""
@@ -84,8 +89,17 @@ class _GroupView:
         """Evaluate the guard on a copy of the *initial* state.
 
         Returns :data:`UNRESOLVED` when the state cannot be copied or the
-        guard raises (both mean "cannot tell statically").
+        guard raises (both mean "cannot tell statically"). The verdict
+        is deterministic over the initial state, so it is memoized per
+        descriptor (one deepcopy per guard per run, however many rules
+        ask).
         """
+        key = id(descriptor)
+        if key not in self._eval_cache:
+            self._eval_cache[key] = self._eval_guard_uncached(descriptor)
+        return self._eval_cache[key]
+
+    def _eval_guard_uncached(self, descriptor: typing.Any) -> object:
         try:
             probe = copy.deepcopy(self.state)
         except Exception:
@@ -97,7 +111,12 @@ class _GroupView:
 
 
 def _group_views(design: DesignContext) -> list[_GroupView]:
-    return [_GroupView(handles) for handles in design.connection_groups()]
+    """Group views, built once per :class:`DesignContext` and shared by
+    every GRD/RES rule through :meth:`DesignContext.cached`."""
+    return design.cached(
+        "guard.group_views",
+        lambda: [_GroupView(handles) for handles in design.connection_groups()],
+    )
 
 
 @register
@@ -234,6 +253,15 @@ class GuardWaitCycleRule(LintRule):
 
     @staticmethod
     def _call_sites(design: DesignContext) -> list[dict]:
+        """Channel call sites, computed once per context (RES001 shares
+        this with GRD003 through the context cache)."""
+        return design.cached(
+            "guard.call_sites",
+            lambda: GuardWaitCycleRule._build_call_sites(design),
+        )
+
+    @staticmethod
+    def _build_call_sites(design: DesignContext) -> list[dict]:
         groups = {id(g.root): g for g in _group_views(design)}
         sites: list[dict] = []
         for info in design.processes:

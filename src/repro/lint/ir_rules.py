@@ -19,34 +19,16 @@ from .engine import IR, LintRule, register
 
 def _walk_exprs(module: ir.RtlModule) -> typing.Iterator[tuple[str, ir.Expr]]:
     """Every expression site in *module*, as ``(site_label, expr)``."""
-    for assign in module.assigns:
-        yield f"assign {assign.target.name}", assign.expr
-    for clocked in module.clocked_assigns:
-        yield f"clocked assign {clocked.target.name}", clocked.expr
-        if clocked.enable is not None:
-            yield f"enable of {clocked.target.name}", clocked.enable
-    for fsm in module.fsms:
-        for transition in fsm.transitions:
-            if transition.condition is not None:
-                yield (
-                    f"{fsm.name} transition "
-                    f"{transition.source}->{transition.target}",
-                    transition.condition,
-                )
+    for site in module.iter_expr_sites():
+        yield site.label, site.expr
 
 
 def _referenced_nets(module: ir.RtlModule) -> dict[int, ir.Net]:
     """Nets read by at least one expression, keyed by identity."""
     nets: dict[int, ir.Net] = {}
-
-    def visit(expr: ir.Expr) -> None:
-        if isinstance(expr, ir.Ref):
-            nets[id(expr.net)] = expr.net
-        for child in expr.children():
-            visit(child)
-
     for __, expr in _walk_exprs(module):
-        visit(expr)
+        for net in expr.referenced_nets():
+            nets[id(net)] = net
     return nets
 
 
@@ -222,10 +204,13 @@ class UndrivenRegisterRule(LintRule):
         for register in module.registers:
             if id(register) in clocked or id(register) in fsm_owned:
                 continue
+            held = (
+                "X" if register.reset_value is None else register.reset_value
+            )
             yield self.emit(
                 f"{module.name}.{register.name}",
                 "register is never clocked; it will hold its reset value "
-                f"({register.reset_value}) forever",
+                f"({held}) forever",
                 "add a clocked assign, or demote it to a constant net",
             )
 

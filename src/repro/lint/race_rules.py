@@ -1,0 +1,56 @@
+"""Shared-state race rule (RACE001).
+
+Design-level wrapper around :mod:`repro.analyze.races`: shared
+GlobalObject state written by more than one party where at least one
+write bypasses the arbiter's serialization. The finding's ``extra``
+carries the raced signal's name when the attribute holds one, which is
+how the dynamic :class:`~repro.instrument.sanitizer.RaceSanitizer`
+pairs its sim-time observations with the static report.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .context import DesignContext
+from .diagnostics import Diagnostic, Severity
+from .engine import DESIGN, LintRule, register
+
+
+@register
+class SharedStateRaceRule(LintRule):
+    """Shared state written by several parties without serialization."""
+
+    rule_id = "RACE001"
+    name = "shared-state-race"
+    target = DESIGN
+    default_severity = Severity.ERROR
+    description = (
+        "out-of-band writes to shared object state race the arbiter's "
+        "serialized method bodies (and each other); the refinement to "
+        "RTL is not equivalence-preserving for such designs"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        from ..analyze.races import analyze_races
+
+        for finding in analyze_races(design):
+            details = "; ".join(
+                f"{w.process_name}: {w.detail}"
+                for w in finding.out_of_band
+            )
+            extra: dict[str, typing.Any] = {
+                "attr": finding.attr,
+                "writers": finding.parties(),
+            }
+            if finding.signal_name is not None:
+                extra["signal"] = finding.signal_name
+            yield self.emit(
+                f"{finding.group_path}.{finding.attr}",
+                "shared state attribute is written by "
+                f"{len(finding.parties())} parties without arbiter "
+                f"serialization ({details})",
+                "route every mutation through a guarded method call on "
+                "the channel",
+                extra=extra,
+            )

@@ -24,9 +24,12 @@ from .context import DesignContext
 from .diagnostics import LintReport
 from .engine import CAMPAIGN, DESIGN, IR, LintConfig, LintEngine, RuleRegistry
 from . import fault_rules as _fault_rules    # noqa: F401  (rule registration)
+from . import fsm_rules as _fsm_rules        # noqa: F401
 from . import guard_rules as _guard_rules    # noqa: F401
 from . import ir_rules as _ir_rules          # noqa: F401
 from . import module_rules as _module_rules  # noqa: F401
+from . import net_rules as _net_rules        # noqa: F401
+from . import race_rules as _race_rules      # noqa: F401
 from . import resilience_rules as _resilience_rules  # noqa: F401
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard

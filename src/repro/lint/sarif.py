@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 rendering of lint/analysis reports.
+
+Static Analysis Results Interchange Format — the JSON dialect GitHub
+code scanning ingests. One run per report; every distinct rule that
+fired becomes a ``tool.driver.rules`` entry, every diagnostic a
+``result`` whose location carries the hierarchical design path as a
+logical location (design objects have no file/line, which SARIF
+handles via ``logicalLocations``).
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from .diagnostics import Diagnostic, LintReport, Severity
+
+#: SARIF result levels by diagnostic severity.
+_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_entry(diagnostic: Diagnostic) -> dict:
+    entry: dict = {"id": diagnostic.rule_id}
+    if diagnostic.rule_name:
+        entry["name"] = diagnostic.rule_name
+    if diagnostic.hint:
+        entry["help"] = {"text": diagnostic.hint}
+    return entry
+
+
+def _result(diagnostic: Diagnostic, rule_index: int) -> dict:
+    message = diagnostic.message
+    if diagnostic.hint:
+        message += f" (hint: {diagnostic.hint})"
+    result: dict = {
+        "ruleId": diagnostic.rule_id,
+        "ruleIndex": rule_index,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": message},
+        "locations": [{
+            "logicalLocations": [{
+                "fullyQualifiedName": diagnostic.path,
+            }],
+        }],
+    }
+    if diagnostic.extra:
+        result["properties"] = dict(diagnostic.extra)
+    return result
+
+
+def sarif_log(
+    reports: typing.Iterable[LintReport],
+    tool_name: str = "repro-lint",
+) -> dict:
+    """One SARIF log with one run covering all *reports*."""
+    rules: list[dict] = []
+    rule_index: dict[str, int] = {}
+    results: list[dict] = []
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            index = rule_index.get(diagnostic.rule_id)
+            if index is None:
+                index = len(rules)
+                rule_index[diagnostic.rule_id] = index
+                rules.append(_rule_entry(diagnostic))
+            results.append(_result(diagnostic, index))
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri": "https://example.invalid/repro",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(
+    reports: typing.Iterable[LintReport],
+    tool_name: str = "repro-lint",
+) -> str:
+    """The SARIF log as an indented JSON string."""
+    return json.dumps(sarif_log(reports, tool_name), indent=2)
+
+
+def render_json(reports: typing.Iterable[LintReport]) -> str:
+    """Plain-JSON rendering: one object per report, stable field names."""
+    payload = [
+        {
+            "subject": report.subject,
+            "counts": report.counts(),
+            "suppressed": report.suppressed,
+            "rules_run": list(report.rules_run),
+            "diagnostics": [d.to_dict() for d in report.diagnostics],
+        }
+        for report in reports
+    ]
+    return json.dumps(payload, indent=2)

@@ -107,6 +107,11 @@ def emit_verilog(module: RtlModule) -> str:
         lines.append("    always @(posedge clk or negedge rst_n) begin")
         lines.append("        if (!rst_n) begin")
         for register in module.registers:
+            if register.reset_value is None:
+                lines.append(
+                    f"            // {register.name}: no reset (powers up X)"
+                )
+                continue
             lines.append(
                 f"            {register.name} <= {register.width}'d"
                 f"{register.reset_value};"

@@ -120,10 +120,15 @@ def emit_vhdl(module: RtlModule) -> str:
         lines.append(f"    signal {net.name} : {_type(net.width)};{comment}")
     for register in module.registers:
         comment = f"  -- {register.comment}" if register.comment else ""
-        lines.append(
-            f"    signal {register.name} : {_type(register.width)} := "
-            f"{_const(register.reset_value, register.width)};{comment}"
-        )
+        if register.reset_value is None:
+            lines.append(
+                f"    signal {register.name} : {_type(register.width)};{comment}"
+            )
+        else:
+            lines.append(
+                f"    signal {register.name} : {_type(register.width)} := "
+                f"{_const(register.reset_value, register.width)};{comment}"
+            )
     for fsm in module.fsms:
         for index, state in enumerate(fsm.states):
             lines.append(
@@ -144,6 +149,8 @@ def emit_vhdl(module: RtlModule) -> str:
         lines.append("    begin")
         lines.append("        if rst_n = '0' then")
         for register in module.registers:
+            if register.reset_value is None:
+                continue  # no reset assign: powers up undefined
             lines.append(
                 f"            {register.name} <= "
                 f"{_const(register.reset_value, register.width)};"

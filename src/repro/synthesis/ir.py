@@ -39,6 +39,18 @@ class Expr:
     def children(self) -> tuple["Expr", ...]:
         return ()
 
+    def walk(self) -> typing.Iterator["Expr"]:
+        """This node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def referenced_nets(self) -> typing.Iterator["Net"]:
+        """Every net read anywhere inside this expression (with repeats)."""
+        for node in self.walk():
+            if isinstance(node, Ref):
+                yield node.net
+
     def count_nodes(self) -> int:
         return 1 + sum(child.count_nodes() for child in self.children())
 
@@ -205,21 +217,34 @@ class Net:
 
 
 class Register(Net):
-    """A clocked storage element with a reset value."""
+    """A clocked storage element with a reset value.
+
+    ``reset_value=None`` declares a register with *no* reset assign: it
+    powers up unknown (X) and stays unknown until first clocked. The
+    synthesizer never produces these, but netlist transformations and
+    imported IP may; the ``NET004`` analysis rule tracks the resulting
+    X-propagation to primary outputs.
+    """
 
     def __init__(
-        self, name: str, width: int = 1, reset_value: int = 0, comment: str = ""
+        self, name: str, width: int = 1, reset_value: "int | None" = 0,
+        comment: str = "",
     ) -> None:
         super().__init__(name, width, comment)
-        if not 0 <= reset_value < (1 << width):
+        if reset_value is not None and not 0 <= reset_value < (1 << width):
             raise SynthesisError(
                 f"register {name!r}: reset value {reset_value} does not fit "
                 f"in {width} bits"
             )
         self.reset_value = reset_value
 
+    @property
+    def has_reset(self) -> bool:
+        return self.reset_value is not None
+
     def __repr__(self) -> str:
-        return f"Register({self.name}, w{self.width}, rst={self.reset_value})"
+        reset = "X" if self.reset_value is None else self.reset_value
+        return f"Register({self.name}, w{self.width}, rst={reset})"
 
 
 class Port(Net):
@@ -334,6 +359,29 @@ class Fsm:
         return self.state_register.width
 
 
+class ExprSite:
+    """One expression occurrence inside a module.
+
+    :param kind: ``"assign"`` | ``"clocked"`` | ``"enable"`` |
+        ``"transition"``.
+    :param label: human-readable site description for diagnostics.
+    :param target: the net the site drives (the FSM state register for
+        transition conditions).
+    :param expr: the expression read at the site.
+    """
+
+    __slots__ = ("kind", "label", "target", "expr")
+
+    def __init__(self, kind: str, label: str, target: Net, expr: Expr) -> None:
+        self.kind = kind
+        self.label = label
+        self.target = target
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"ExprSite({self.kind}: {self.label})"
+
+
 class RtlModule:
     """One synthesized structural module."""
 
@@ -366,7 +414,8 @@ class RtlModule:
         return net
 
     def add_register(
-        self, name: str, width: int = 1, reset_value: int = 0, comment: str = ""
+        self, name: str, width: int = 1, reset_value: "int | None" = 0,
+        comment: str = "",
     ) -> Register:
         self._claim(name)
         register = Register(name, width, reset_value, comment)
@@ -401,6 +450,39 @@ class RtlModule:
             if port.name == name:
                 return port
         raise SynthesisError(f"module {self.name!r} has no port {name!r}")
+
+    # -- traversal -------------------------------------------------------------
+
+    def all_nets(self) -> list[Net]:
+        """Every named net of the module: wires, registers and ports."""
+        return [*self.nets, *self.registers, *self.ports]
+
+    def iter_expr_sites(self) -> "typing.Iterator[ExprSite]":
+        """Every expression site, tagged with what reads it.
+
+        Sites cover continuous assigns, clocked assigns (expression and
+        enable separately) and FSM transition conditions — everything an
+        analysis pass must visit to see all net reads in the module.
+        """
+        for assign in self.assigns:
+            yield ExprSite("assign", f"assign {assign.target.name}",
+                           assign.target, assign.expr)
+        for clocked in self.clocked_assigns:
+            yield ExprSite("clocked", f"clocked assign {clocked.target.name}",
+                           clocked.target, clocked.expr)
+            if clocked.enable is not None:
+                yield ExprSite("enable", f"enable of {clocked.target.name}",
+                               clocked.target, clocked.enable)
+        for fsm in self.fsms:
+            for transition in fsm.transitions:
+                if transition.condition is not None:
+                    yield ExprSite(
+                        "transition",
+                        f"{fsm.name} transition "
+                        f"{transition.source}->{transition.target}",
+                        fsm.state_register,
+                        transition.condition,
+                    )
 
     # -- resource accounting ---------------------------------------------------
 

@@ -108,6 +108,27 @@ class SynthesisResult:
         return "\n\n".join(g.vhdl for g in self.groups if g.vhdl)
 
 
+#: When set, every completed synthesis run is reported here as
+#: ``callback(sim, result)`` — how ``python -m repro analyze`` captures
+#: the netlists built deep inside a user script it merely executes
+#: (same pattern as the profile CLI's process-wide probe bus).
+_SYNTHESIS_SINK: "typing.Callable[[Simulator, SynthesisResult], None] | None" \
+    = None
+
+
+def set_synthesis_sink(
+    sink: "typing.Callable[[Simulator, SynthesisResult], None] | None",
+) -> "typing.Callable[[Simulator, SynthesisResult], None] | None":
+    """Install (or clear, with ``None``) the process-wide result sink.
+
+    Returns the previous sink so callers can restore it.
+    """
+    global _SYNTHESIS_SINK
+    previous = _SYNTHESIS_SINK
+    _SYNTHESIS_SINK = sink
+    return previous
+
+
 def _lint_group_netlists(group_name: str, modules: list) -> None:
     """IR sanity pass over one group's netlists; errors abort synthesis."""
     # Imported lazily: the lint package imports synthesis.ir.
@@ -240,4 +261,6 @@ def synthesize_communication(
                 verilog, vhdl, dispatch_irs,
             )
         )
+    if _SYNTHESIS_SINK is not None:
+        _SYNTHESIS_SINK(sim, result)
     return result

@@ -1,0 +1,142 @@
+"""Shared-state race analysis (RACE001) over live designs.
+
+``build_race_design`` is also imported by the dynamic sanitizer tests
+(:mod:`tests.instrument.test_sanitizer`): the same fixture must be
+flagged statically here and then confirmed at sim time there.
+"""
+
+from repro.analyze.races import analyze_races
+from repro.hdl.module import Module
+from repro.kernel.process import Timeout
+from repro.kernel.simulator import Simulator
+from repro.lint import Severity, lint_design
+from repro.lint.context import DesignContext
+from repro.osss.global_object import GlobalObject, connect
+from repro.osss.guarded_method import guarded_method
+
+
+class SharedStrobe:
+    """Shared state holding a live signal the arbiter should own."""
+
+    def __init__(self):
+        self.sig = None
+        self.count = 0
+
+    @guarded_method()
+    def pulse(self, value):
+        self.count += 1
+        if self.sig is not None:
+            self.sig.write(value)
+        return self.count
+
+
+class RaceHost(Module):
+    """One serialized client plus one process writing behind the arbiter."""
+
+    def __init__(self, parent, name):
+        super().__init__(parent, name)
+        self.strobe = self.signal("strobe", width=1, init=0)
+        self.shared = GlobalObject(self, "shared", SharedStrobe)
+        self.state = None  # bound to the shared instance after connect()
+        self.thread(self._client, "client")
+        self.thread(self._rogue, "rogue")
+
+    def _client(self):
+        yield Timeout(10)
+        yield from self.shared.pulse(1)
+
+    def _rogue(self):
+        yield Timeout(5)
+        self.state.sig.write(1)
+        yield Timeout(0)
+        self.state.sig.write(0)
+
+
+def build_race_design():
+    """Simulator + module where ``state.sig`` has two writing parties."""
+    sim = Simulator()
+    top = RaceHost(sim, "top")
+    connect(top.shared)
+    state = top.shared.space.state
+    state.sig = top.strobe
+    top.state = state
+    return sim, top
+
+
+class TestAnalyzeRaces:
+    def test_out_of_band_write_is_found(self):
+        sim, top = build_race_design()
+        findings = analyze_races(DesignContext(sim))
+        sigs = [f for f in findings if f.attr == "sig"]
+        (finding,) = sigs
+        assert finding.signal_name == top.strobe.name
+        assert "pulse" in finding.serialized_methods
+        assert any(w.process_name == "top.rogue" for w in finding.out_of_band)
+        assert len(finding.parties()) == 2
+
+    def test_single_party_is_quiet(self):
+        """A lone out-of-band writer with no serialized rival is no race."""
+        sim = Simulator()
+
+        class LonelyHost(Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.strobe = self.signal("strobe", width=1, init=0)
+                self.shared = GlobalObject(self, "shared", SharedStrobe)
+                self.state = None
+                self.thread(self._rogue, "rogue")
+
+            def _rogue(self):
+                yield Timeout(5)
+                self.state.sig.write(1)
+
+        top = LonelyHost(sim, "top")
+        connect(top.shared)
+        state = top.shared.space.state
+        state.sig = top.strobe
+        top.state = state
+        assert [f.attr for f in analyze_races(DesignContext(sim))] == []
+
+    def test_serialized_only_is_quiet(self):
+        """All mutation through the channel: the arbiter owns the state."""
+        sim = Simulator()
+
+        class PoliteHost(Module):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.strobe = self.signal("strobe", width=1, init=0)
+                self.shared = GlobalObject(self, "shared", SharedStrobe)
+                self.thread(self._a, "a")
+                self.thread(self._b, "b")
+
+            def _a(self):
+                yield from self.shared.pulse(1)
+
+            def _b(self):
+                yield Timeout(3)
+                yield from self.shared.pulse(0)
+
+        top = PoliteHost(sim, "top")
+        connect(top.shared)
+        top.shared.space.state.sig = top.strobe
+        assert analyze_races(DesignContext(sim)) == []
+
+
+class TestRace001Rule:
+    def test_diagnostic_carries_signal_name(self):
+        sim, top = build_race_design()
+        report = lint_design(sim)
+        (diag,) = report.by_rule("RACE001")
+        assert diag.severity is Severity.ERROR
+        assert diag.path.endswith(".sig")
+        assert diag.extra["attr"] == "sig"
+        assert diag.extra["signal"] == top.strobe.name
+        assert "rogue" in diag.message
+
+    def test_suppressible(self):
+        from repro.lint import LintConfig
+
+        sim, _top = build_race_design()
+        report = lint_design(sim, LintConfig(suppress=["RACE001"]))
+        assert report.by_rule("RACE001") == []
+        assert report.suppressed >= 1

@@ -1,0 +1,132 @@
+"""Expression evaluation, levelization and the EvalSchedule artifact."""
+
+import pytest
+
+from repro.analyze import EvaluationError, evaluate_expr, levelize
+from repro.synthesis.ir import (
+    BinOp,
+    BitSelect,
+    Concat,
+    Const,
+    Fsm,
+    Mux,
+    RtlModule,
+    UnOp,
+)
+
+
+def _net(width=4, name="n"):
+    module = RtlModule("scratch")
+    return module.add_net(name, width)
+
+
+class TestEvaluateExpr:
+    def test_const_and_ref(self):
+        net = _net()
+        assert evaluate_expr(Const(9, 4), {}) == 9
+        assert evaluate_expr(net.ref(), {"n": 5}) == 5
+
+    def test_missing_net_raises(self):
+        net = _net()
+        with pytest.raises(EvaluationError):
+            evaluate_expr(net.ref(), {})
+
+    def test_unops(self):
+        net = _net(4)
+        env = {"n": 0b1010}
+        assert evaluate_expr(UnOp("~", net.ref()), env) == 0b0101
+        assert evaluate_expr(UnOp("|", net.ref()), env) == 1
+        assert evaluate_expr(UnOp("&", net.ref()), env) == 0
+        assert evaluate_expr(UnOp("&", net.ref()), {"n": 0b1111}) == 1
+
+    def test_binops(self):
+        left, right = Const(6, 4), Const(3, 4)
+        cases = {"&": 2, "|": 7, "^": 5, "+": 9, "-": 3,
+                 "==": 0, "!=": 1, "<": 0}
+        for op, expected in cases.items():
+            assert evaluate_expr(BinOp(op, left, right), {}) == expected
+
+    def test_arithmetic_wraps_to_width(self):
+        assert evaluate_expr(BinOp("+", Const(15, 4), Const(1, 4)), {}) == 0
+        assert evaluate_expr(BinOp("-", Const(0, 4), Const(1, 4)), {}) == 15
+
+    def test_mux_bitselect_concat(self):
+        sel = Const(1, 1)
+        assert evaluate_expr(Mux(sel, Const(3, 4), Const(7, 4)), {}) == 3
+        assert evaluate_expr(BitSelect(Const(0b100, 3), 2), {}) == 1
+        # First Concat part is most significant.
+        assert evaluate_expr(Concat(Const(1, 1), Const(0, 2)), {}) == 0b100
+
+
+class TestLevelize:
+    def test_linear_chain(self):
+        module = RtlModule("m")
+        a = module.add_port("a", "in", 1)
+        w1 = module.add_net("w1", 1)
+        w2 = module.add_net("w2", 1)
+        module.add_assign(w1, a.ref())
+        module.add_assign(w2, w1.ref())
+        result = levelize(module)
+        assert result.ok and not result.loops
+        schedule = result.schedule
+        assert schedule.depth == 2
+        assert [s.target.name for s in schedule.levels[0]] == ["w1"]
+        assert [s.target.name for s in schedule.levels[1]] == ["w2"]
+        assert {n.name for n in schedule.boundary_nets()} == {"a"}
+        env = schedule.evaluate({"a": 1})
+        assert env["w1"] == 1 and env["w2"] == 1
+
+    def test_comb_loop_detected(self):
+        module = RtlModule("m")
+        a = module.add_net("a", 1)
+        b = module.add_net("b", 1)
+        module.add_assign(a, b.ref())
+        module.add_assign(b, a.ref())
+        result = levelize(module)
+        assert not result.ok and result.schedule is None
+        (loop,) = result.loops
+        assert {n.name for n in loop.nets} == {"a", "b"}
+        assert loop.describe().count("->") == 2  # closed path
+
+    def test_loop_plus_clean_logic(self):
+        """Nets outside the cycle still matter; only the cycle reports."""
+        module = RtlModule("m")
+        p = module.add_port("p", "in", 1)
+        ok = module.add_net("ok", 1)
+        a = module.add_net("a", 1)
+        b = module.add_net("b", 1)
+        tail = module.add_net("tail", 1)
+        module.add_assign(ok, p.ref())
+        module.add_assign(a, b.ref())
+        module.add_assign(b, a.ref())
+        module.add_assign(tail, a.ref())  # stuck only through the loop
+        result = levelize(module)
+        assert len(result.loops) == 1
+
+    def test_fsm_output_step(self):
+        module = RtlModule("m")
+        go = module.add_port("go", "in", 1)
+        busy = module.add_net("busy", 1)
+        fsm = Fsm("ctrl", ["IDLE", "RUN"], "IDLE")
+        fsm.add_transition("IDLE", go.ref(), "RUN")
+        fsm.add_transition("RUN", None, "IDLE")
+        fsm.set_output("RUN", busy, 1)
+        module.add_fsm(fsm)
+        result = levelize(module)
+        assert result.ok
+        env = result.schedule.evaluate(
+            {fsm.state_register.name: fsm.encode("RUN")}
+        )
+        assert env["busy"] == 1
+        env = result.schedule.evaluate(
+            {fsm.state_register.name: fsm.encode("IDLE")}
+        )
+        assert env["busy"] == 0  # Moore default
+
+    def test_describe_lists_levels(self):
+        module = RtlModule("m")
+        a = module.add_port("a", "in", 1)
+        w = module.add_net("w", 1)
+        module.add_assign(w, a.ref())
+        text = levelize(module).schedule.describe()
+        assert "schedule m" in text and "level 0: w" in text

@@ -23,9 +23,11 @@ class TestFullFlow:
         flow = DesignFlow({"name": "demo"}, *standard_flow_builders(WORKLOADS))
         report = flow.run(20 * MS)
         assert report.succeeded
-        assert len(report.stages) == 7
+        assert len(report.stages) == 8
         assert report.lint_report is not None
         assert not report.lint_report.has_errors
+        assert report.analysis_report is not None
+        assert not report.analysis_report.has_errors
         assert report.refinement_check.consistent
         assert report.synthesis_check.consistent
         assert report.synthesis_result is not None
@@ -37,6 +39,7 @@ class TestFullFlow:
         text = report.summary()
         assert "communication synthesis" in text
         assert "static design-rule lint" in text
+        assert "post-synthesis netlist analysis" in text
         assert "[  ok]" in text
 
     def test_missing_name_fails_first_stage(self):

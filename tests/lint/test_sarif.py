@@ -1,0 +1,82 @@
+"""SARIF / plain-JSON rendering of lint reports."""
+
+import json
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.sarif import render_json, render_sarif, sarif_log
+
+
+def _report():
+    report = LintReport("unit")
+    report.rules_run.append("NET002")
+    report.add(Diagnostic(
+        "NET002", Severity.WARNING, "m.dead",
+        "net is driven but never read", "delete it",
+        rule_name="unread-net",
+    ))
+    report.add(Diagnostic(
+        "NET001", Severity.ERROR, "m.reg", "driver conflict",
+        rule_name="driver-conflict", extra={"kind": "mix"},
+    ))
+    report.add(Diagnostic(
+        "NET002", Severity.WARNING, "m.dead2",
+        "net is driven but never read",
+        rule_name="unread-net",
+    ))
+    return report
+
+
+class TestSarifLog:
+    def test_structure(self):
+        log = sarif_log([_report()], "repro-analyze")
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        assert len(run["results"]) == 3
+
+    def test_rules_deduplicated(self):
+        run = sarif_log([_report()])["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["NET002", "NET001"]
+        # Both NET002 results point at the same rule index.
+        net002 = [r for r in run["results"] if r["ruleId"] == "NET002"]
+        assert {r["ruleIndex"] for r in net002} == {0}
+
+    def test_severity_levels(self):
+        results = sarif_log([_report()])["runs"][0]["results"]
+        levels = {r["ruleId"]: r["level"] for r in results}
+        assert levels["NET001"] == "error"
+        assert levels["NET002"] == "warning"
+
+    def test_logical_location_carries_design_path(self):
+        results = sarif_log([_report()])["runs"][0]["results"]
+        paths = {
+            r["locations"][0]["logicalLocations"][0]["fullyQualifiedName"]
+            for r in results
+        }
+        assert paths == {"m.dead", "m.dead2", "m.reg"}
+
+    def test_extra_becomes_properties(self):
+        results = sarif_log([_report()])["runs"][0]["results"]
+        (net001,) = [r for r in results if r["ruleId"] == "NET001"]
+        assert net001["properties"] == {"kind": "mix"}
+
+    def test_hint_embedded_in_message(self):
+        results = sarif_log([_report()])["runs"][0]["results"]
+        hinted = [r for r in results
+                  if "(hint: delete it)" in r["message"]["text"]]
+        assert len(hinted) == 1
+
+    def test_render_is_valid_json(self):
+        parsed = json.loads(render_sarif([_report()]))
+        assert parsed["runs"][0]["results"]
+
+
+class TestRenderJson:
+    def test_plain_json_shape(self):
+        (payload,) = json.loads(render_json([_report()]))
+        assert payload["subject"] == "unit"
+        assert payload["counts"]["warning"] == 2
+        assert payload["counts"]["error"] == 1
+        assert len(payload["diagnostics"]) == 3
+        assert payload["rules_run"] == ["NET002"]
