@@ -19,7 +19,11 @@ The package provides:
 * :mod:`repro.flow` — the end-to-end design flow of the paper's Figure 2;
 * :mod:`repro.trace` — VCD dumping and ASCII waveform rendering;
 * :mod:`repro.instrument` — the probe bus shared by every observer, with
-  metrics aggregation and wall-clock profiling (zero cost when off).
+  metrics aggregation and wall-clock profiling (zero cost when off);
+* :mod:`repro.compile` — the compiled fast-sim backend: synthesized
+  netlists lowered to generated Python, selected with
+  ``backend="compiled"`` and equivalence-gated against the
+  interpreted channel.
 """
 
 from ._version import __version__

@@ -22,6 +22,10 @@ Commands:
 * ``analyze``     — netlist dataflow analysis over a script's synthesis
   runs: driver conflicts, comb-loop levelization, FSM reachability,
   X-propagation and shared-state races (``--schedule``, ``--format``).
+* ``compile``     — lower a script's synthesized netlists to the
+  compiled fast-sim backend's generated Python (``--dump``,
+  ``--check N`` cross-checks against the interpreted schedule,
+  ``--yosys`` emits the logic-synthesis hand-off script).
 
 Every command honours the global ``--seed``: repeated invocations with
 the same seed are bit-identical.
@@ -155,6 +159,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return analyze_cli.run(args)
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .compile import cli as compile_cli
+
+    return compile_cli.run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     bundle = build_pci_platform(
         _default_workloads(_effective_seed(args), args.commands),
@@ -219,6 +229,12 @@ def main(argv: "list[str] | None" = None) -> int:
     from .analyze import cli as analyze_cli
 
     analyze_cli.add_arguments(analyze)
+    compile_parser = sub.add_parser(
+        "compile", help="generate the compiled fast-sim backend's code"
+    )
+    from .compile import cli as compile_cli
+
+    compile_cli.add_arguments(compile_parser)
     args = parser.parse_args(argv)
     handlers = {
         "flow": _cmd_flow,
@@ -231,6 +247,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "profile": _cmd_profile,
         "spans": _cmd_spans,
         "analyze": _cmd_analyze,
+        "compile": _cmd_compile,
     }
     return handlers[args.command](args)
 

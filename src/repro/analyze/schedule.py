@@ -80,7 +80,8 @@ def evaluate_expr(
     if isinstance(expr, ir.Concat):
         value = 0
         for part in expr.parts:  # first part is most significant
-            value = (value << part.width) | evaluate_expr(part, env)
+            part_mask = (1 << part.width) - 1
+            value = (value << part.width) | (evaluate_expr(part, env) & part_mask)
         return value
     raise EvaluationError(f"cannot evaluate expression {expr!r}")
 
@@ -113,12 +114,16 @@ class ScheduleStep:
                 f"no value for state register "
                 f"{self.fsm.state_register.name!r}"
             )
+        # An over-wide environment value must decode like the hardware
+        # would see it: truncated to the state register's width.
+        state_value &= (1 << self.fsm.state_register.width) - 1
+        target_mask = (1 << self.target.width) - 1
         for state, outputs in self.fsm.moore_outputs.items():
             if self.fsm.encode(state) != state_value:
                 continue
             for net, value in outputs:
                 if net is self.target:
-                    return value
+                    return value & target_mask
         return 0  # Moore default: states with no entry drive 0
 
     def __repr__(self) -> str:
@@ -155,6 +160,7 @@ class EvalSchedule:
     ) -> None:
         self.module = module
         self.levels = [list(level) for level in levels]
+        self._boundary_widths: dict[str, int] | None = None
 
     @property
     def steps(self) -> list[ScheduleStep]:
@@ -189,9 +195,22 @@ class EvalSchedule:
         """One delta cycle: settle every comb net from *boundary*.
 
         Returns the full environment — boundary values plus every
-        computed net, keyed by net name.
+        computed net, keyed by net name. Boundary values are masked to
+        their net widths on entry (width-1 nets fed Python truthy
+        values, state registers carrying stale high bits): the
+        environment behaves like the wires it names, and the generated
+        code of the compiled backend shares exactly this semantics.
         """
         env = dict(boundary)
+        widths = self._boundary_widths
+        if widths is None:
+            widths = self._boundary_widths = {
+                net.name: net.width for net in self.boundary_nets()
+            }
+        for name, width in widths.items():
+            value = env.get(name)
+            if value is not None:
+                env[name] = value & ((1 << width) - 1)
         for level in self.levels:
             for step in level:
                 env[step.target.name] = step.evaluate(env)

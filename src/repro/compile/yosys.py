@@ -1,0 +1,64 @@
+"""Yosys hand-off script emission.
+
+The compiled backend executes the synthesized netlist fast; the same
+netlist's Verilog is the hand-off artifact to real logic synthesis.
+:func:`emit_yosys_script` writes the conventional Yosys flow for it —
+read the sources, elaborate from the top, then the standard
+proc/fsm/memory/techmap ladder with cleanups between the passes and a
+liberty-driven dff/ABC mapping at the end — so the generated HDL can be
+pushed through an open tool chain unmodified.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def emit_yosys_script(
+    verilog_files: typing.Sequence[str],
+    top: str,
+    liberty: str = "vsclib013.lib",
+    output: str = "synth.v",
+) -> str:
+    """A Yosys synthesis script for the emitted Verilog.
+
+    :param verilog_files: paths of the Verilog sources to read, in
+        dependency order.
+    :param top: name of the top module to elaborate from.
+    :param liberty: liberty cell library for dfflibmap/abc.
+    :param output: path the synthesized netlist is written to.
+    """
+    lines = ["# read design modules"]
+    for path in verilog_files:
+        lines.append(f"read -sv {path}")
+    lines += [
+        "",
+        "# elaborate design hierarchy",
+        f"hierarchy -check -top {top}",
+        "",
+        "# convert behavioural processes to d-type flip-flops and muxes",
+        "proc; opt",
+        "",
+        "# FSM extraction and optimization",
+        "fsm; opt",
+        "",
+        "# convert memory constructs to flip-flops and multiplexers",
+        "memory; opt",
+        "",
+        "# convert the design to gate-level netlists",
+        "techmap; opt",
+        "",
+        "# map registers onto the cell library",
+        f"dfflibmap -liberty {liberty}",
+        "",
+        "# map remaining logic with ABC",
+        f"abc -liberty {liberty}",
+        "",
+        "# cleanup",
+        "clean",
+        "",
+        "# write the synthesized design",
+        f"write_verilog {output}",
+        "",
+    ]
+    return "\n".join(lines)

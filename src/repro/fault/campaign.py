@@ -167,6 +167,18 @@ def build_campaign_platform(spec: CampaignSpec) -> PlatformBundle:
         from ..resilience import ResilienceConfig
 
         config.resilience = ResilienceConfig.default(spec.seed)
+    synthesize = getattr(spec, "synthesize", False)
+    if synthesize:
+        # Lowered channels, per-spec backend; applies to golden, probe
+        # and faulty builds alike so the comparison stays like-for-like.
+        from ..synthesis.tool import SynthesisConfig
+
+        return _BUILDERS[spec.platform](
+            workloads, config, synthesize=True,
+            synthesis_config=SynthesisConfig(
+                backend=getattr(spec, "backend", "interpreted")
+            ),
+        )
     return _BUILDERS[spec.platform](workloads, config)
 
 

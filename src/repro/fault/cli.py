@@ -50,16 +50,36 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
              "protocol replay) on every run; faults the stack absorbs "
              "classify as 'recovered'",
     )
+    parser.add_argument(
+        "--synthesize", action="store_true",
+        help="apply communication synthesis to every run's platform "
+             "(golden and faulty alike)",
+    )
+    parser.add_argument(
+        "--backend", choices=("interpreted", "compiled"),
+        default="interpreted",
+        help="execution backend for synthesized channels (compiled "
+             "implies --synthesize; default interpreted)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
     seed = args.seed if args.seed is not None else 11
+    synthesize = args.synthesize or args.backend == "compiled"
+    if synthesize and args.platform == "functional":
+        print(
+            "fault: the functional platform has no clock to synthesize "
+            "against; use --platform pci or wishbone"
+        )
+        return 2
     spec = demo_campaign_spec(
         platform=args.platform, seed=seed, runs=args.runs
     )
     spec.wall_timeout = args.timeout
     spec.trace_spans = args.trace_spans
     spec.resilience = args.resilience
+    spec.synthesize = synthesize
+    spec.backend = args.backend
     if args.lint:
         from ..lint import lint_campaign
 

@@ -88,6 +88,8 @@ class CampaignSpec:
         trace_spans: bool = False,
         resilience: bool = False,
         crash_run_ids: typing.Sequence[int] = (),
+        synthesize: bool = False,
+        backend: str = "interpreted",
     ) -> None:
         if platform not in PLATFORMS:
             raise FaultInjectionError(
@@ -95,6 +97,21 @@ class CampaignSpec:
             )
         if not faults:
             raise FaultInjectionError("a campaign needs at least one FaultSpec")
+        if backend not in ("interpreted", "compiled"):
+            raise FaultInjectionError(
+                f"unknown backend {backend!r}; expected 'interpreted' or "
+                "'compiled'"
+            )
+        if backend == "compiled" and not synthesize:
+            raise FaultInjectionError(
+                "backend='compiled' needs synthesize=True: the compiled "
+                "core only exists for synthesized channels"
+            )
+        if synthesize and platform == "functional":
+            raise FaultInjectionError(
+                "the functional platform has no clock to synthesize "
+                "against; use the pci or wishbone platform"
+            )
         self.name = name
         self.faults = list(faults)
         self.platform = platform
@@ -124,6 +141,12 @@ class CampaignSpec:
         #: The serial runner classifies them ``worker_error`` directly,
         #: keeping serial and parallel reports identical.
         self.crash_run_ids = tuple(crash_run_ids)
+        #: apply communication synthesis to every platform the campaign
+        #: builds (golden, probe and faulty runs alike, so traces stay
+        #: comparable), and pick the execution backend for the lowered
+        #: channels: "interpreted" or "compiled" (repro.compile).
+        self.synthesize = synthesize
+        self.backend = backend
 
     def workload_seeds(self) -> list[int]:
         return [self.seed + i for i in range(self.n_apps)]

@@ -54,7 +54,13 @@ class PciPlatformConfig:
         monitor_strict: bool = True,
         app_think_time: int = 0,
         resilience: object | None = None,
+        backend: str = "interpreted",
     ) -> None:
+        if backend not in ("interpreted", "compiled"):
+            raise RefinementError(
+                f"unknown backend {backend!r}; expected 'interpreted' or "
+                "'compiled'"
+            )
         self.clock_period = clock_period
         self.mem_size = mem_size
         self.peripheral_base = peripheral_base
@@ -74,6 +80,12 @@ class PciPlatformConfig:
         #: interface element (applications stay untouched). None keeps
         #: the recovery-free fast path — the shipping default.
         self.resilience = resilience
+        #: Execution backend for synthesized channels: "interpreted"
+        #: (the generator-based RTL channel) or "compiled" (the
+        #: generated-code core from repro.compile). Takes effect when a
+        #: builder runs with synthesize=True; an explicit
+        #: synthesis_config passed to the builder wins over this knob.
+        self.backend = backend
 
 
 def _maybe_apply_resilience(interface, config: "PciPlatformConfig") -> None:
@@ -223,8 +235,10 @@ def build_pci_platform(
     top = PciTop(sim, "top")
     synthesis = None
     if synthesize:
-        from ..synthesis.tool import synthesize_communication
+        from ..synthesis.tool import SynthesisConfig, synthesize_communication
 
+        if synthesis_config is None:
+            synthesis_config = SynthesisConfig(backend=config.backend)
         synthesis = synthesize_communication(
             sim, top.clock.clk, synthesis_config  # type: ignore[arg-type]
         )
@@ -251,6 +265,7 @@ def build_wishbone_platform(
     config: PciPlatformConfig | None = None,
     synthesize: bool = False,
     label: str | None = None,
+    synthesis_config: object | None = None,
 ) -> PlatformBundle:
     """The same system behind the library's Wishbone interface element.
 
@@ -303,9 +318,13 @@ def build_wishbone_platform(
     top = WishboneTop(sim, "top")
     synthesis = None
     if synthesize:
-        from ..synthesis.tool import synthesize_communication
+        from ..synthesis.tool import SynthesisConfig, synthesize_communication
 
-        synthesis = synthesize_communication(sim, top.clock.clk)
+        if synthesis_config is None:
+            synthesis_config = SynthesisConfig(backend=config.backend)
+        synthesis = synthesize_communication(
+            sim, top.clock.clk, synthesis_config  # type: ignore[arg-type]
+        )
     if label is None:
         label = "wishbone_post_synthesis" if synthesize else "wishbone"
     interface = top.interface
@@ -334,8 +353,16 @@ def standard_flow_builders(
     def functional_builder():
         return build_functional_platform(workloads, config).handle
 
-    def implementation_builder(synthesize: bool):
-        bundle = build_pci_platform(workloads, config, synthesize=synthesize)
+    def implementation_builder(synthesize: bool, backend: str = "interpreted"):
+        synthesis_config = None
+        if synthesize:
+            from ..synthesis.tool import SynthesisConfig
+
+            synthesis_config = SynthesisConfig(backend=backend)
+        bundle = build_pci_platform(
+            workloads, config, synthesize=synthesize,
+            synthesis_config=synthesis_config,
+        )
         return bundle.handle, bundle.synthesis
 
     return functional_builder, implementation_builder

@@ -29,6 +29,10 @@ from .report import SynthesisReport
 from .rtl_channel import RtlMethodChannel
 
 
+#: Execution backends a synthesized design can run on.
+BACKENDS = ("interpreted", "compiled")
+
+
 class SynthesisConfig:
     """Knobs of the communication synthesizer.
 
@@ -38,6 +42,10 @@ class SynthesisConfig:
         large parameter sweeps).
     :param lint_ir: run the IR design rules over every generated netlist
         before HDL emission; error-severity findings abort synthesis.
+    :param backend: execution backend for the synthesized channels —
+        ``"interpreted"`` (the generator-based RTL channel) or
+        ``"compiled"`` (the channel IR lowered to generated Python by
+        :mod:`repro.compile`; cycle-equivalent, much faster).
     """
 
     def __init__(
@@ -46,15 +54,21 @@ class SynthesisConfig:
         data_width: int = 32,
         emit_hdl: bool = True,
         lint_ir: bool = True,
+        backend: str = "interpreted",
     ) -> None:
         if body_cycles < 1:
             raise SynthesisError("body_cycles must be >= 1")
         if data_width < 1:
             raise SynthesisError("data_width must be >= 1")
+        if backend not in BACKENDS:
+            raise SynthesisError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.body_cycles = body_cycles
         self.data_width = data_width
         self.emit_hdl = emit_hdl
         self.lint_ir = lint_ir
+        self.backend = backend
 
 
 class SynthesizedGroup:
@@ -195,9 +209,20 @@ def synthesize_communication(
         group_name = f"chan{index}_" + root.path.replace(".", "_")
         # Stop the behavioural server; the RTL channel takes over.
         space.server.kill()
-        channel = RtlMethodChannel(
-            top, group_name, space, handles, clk, config.body_cycles
-        )
+        if config.backend == "compiled":
+            # Imported lazily: repro.compile imports synthesis and analyze.
+            from ..compile.channel import CompiledChannel
+
+            channel: RtlMethodChannel = typing.cast(
+                RtlMethodChannel,
+                CompiledChannel(
+                    top, group_name, space, handles, clk, config.body_cycles
+                ),
+            )
+        else:
+            channel = RtlMethodChannel(
+                top, group_name, space, handles, clk, config.body_cycles
+            )
         for handle in handles:
             handle._root()._lowered = channel
         # Structural netlists.
@@ -213,6 +238,11 @@ def synthesize_communication(
             priorities,
             config.data_width,
         )
+        if config.backend == "compiled":
+            # The compiled backend *executes* the synthesized netlist:
+            # the channel IR is lowered to generated Python and bound as
+            # the channel's clocked core.
+            channel.bind_netlist(channel_ir)
         object_ir = build_object_ir(
             f"obj{index}_" + type(space.state).__name__.lower(),
             space.state,

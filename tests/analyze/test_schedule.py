@@ -57,6 +57,20 @@ class TestEvaluateExpr:
         # First Concat part is most significant.
         assert evaluate_expr(Concat(Const(1, 1), Const(0, 2)), {}) == 0b100
 
+    def test_bitselect_ignores_stale_high_env_bits(self):
+        net = _net(4)
+        # The top in-range bit reads from the masked wire value, not
+        # from stale bits the environment carries above the net width.
+        assert evaluate_expr(BitSelect(net.ref(), 3), {"n": 0b10111}) == 0
+        assert evaluate_expr(BitSelect(net.ref(), 0), {"n": 0b10111}) == 1
+
+    def test_concat_masks_over_wide_parts(self):
+        net = _net(2)
+        # A 2-bit ref fed an over-wide environment value must not smear
+        # its extra bits into the neighbouring concat lanes.
+        expr = Concat(Const(1, 1), net.ref())
+        assert evaluate_expr(expr, {"n": 0b1111}) == 0b111
+
 
 class TestLevelize:
     def test_linear_chain(self):
@@ -122,6 +136,52 @@ class TestLevelize:
             {fsm.state_register.name: fsm.encode("IDLE")}
         )
         assert env["busy"] == 0  # Moore default
+
+    def test_width1_boundary_masked_on_entry(self):
+        """A truthy-but-not-1 value on a width-1 boundary net behaves
+        like the wire it names: only bit 0 is visible downstream."""
+        module = RtlModule("m")
+        a = module.add_port("a", "in", 1)
+        w = module.add_net("w", 1)
+        inv = module.add_net("inv", 1)
+        module.add_assign(w, a.ref())
+        module.add_assign(inv, UnOp("~", a.ref()))
+        schedule = levelize(module).schedule
+        env = schedule.evaluate({"a": 2})  # truthy, but bit 0 is clear
+        assert env["a"] == 0
+        assert env["w"] == 0
+        assert env["inv"] == 1
+
+    def test_over_wide_state_register_decodes_truncated(self):
+        """Stale high bits on the state value must not silently turn
+        every Moore output into the default 0."""
+        module = RtlModule("m")
+        go = module.add_port("go", "in", 1)
+        busy = module.add_net("busy", 1)
+        fsm = Fsm("ctrl", ["IDLE", "RUN"], "IDLE")
+        fsm.add_transition("IDLE", go.ref(), "RUN")
+        fsm.add_transition("RUN", None, "IDLE")
+        fsm.set_output("RUN", busy, 1)
+        module.add_fsm(fsm)
+        schedule = levelize(module).schedule
+        width = fsm.state_register.width
+        value = fsm.encode("RUN") | (1 << width)  # one stale bit up top
+        env = schedule.evaluate({fsm.state_register.name: value})
+        assert env["busy"] == 1
+        assert env[fsm.state_register.name] == fsm.encode("RUN")
+
+    def test_constant_folded_boundary_net(self):
+        """A boundary net tied to a constant upstream still evaluates
+        masked, and comparisons against folded constants hold."""
+        module = RtlModule("m")
+        a = module.add_port("a", "in", 4)
+        eq = module.add_net("eq", 1)
+        module.add_assign(eq, BinOp("==", a.ref(), Const(5, 4)))
+        schedule = levelize(module).schedule
+        # 0x15 & 0xF == 5: the over-wide constant must still compare equal.
+        assert schedule.evaluate({"a": 0x15})["eq"] == 1
+        assert schedule.evaluate({"a": 0x25})["eq"] == 1
+        assert schedule.evaluate({"a": 6})["eq"] == 0
 
     def test_describe_lists_levels(self):
         module = RtlModule("m")

@@ -1,0 +1,84 @@
+"""Fault campaigns must classify identically under both backends.
+
+A compiled channel that changed any run's classification would mean the
+backends are not observably equivalent under faults — the third leg of
+the equivalence gate, checked serially and through the worker pool.
+"""
+
+import pytest
+
+from repro.fault.campaign import build_campaign_platform
+from repro.fault.models import FaultInjectionError
+from repro.fault.runner import run_campaign
+from repro.fault.spec import CampaignSpec, FaultSpec, demo_campaign_spec
+from repro.compile import CompiledChannel
+
+
+def _spec(backend, runs=8, **kwargs):
+    spec = demo_campaign_spec(platform="pci", seed=11, runs=runs)
+    spec.synthesize = True
+    spec.backend = backend
+    for key, value in kwargs.items():
+        setattr(spec, key, value)
+    return spec
+
+
+def _outcome_rows(result):
+    return [
+        (o.run_id, o.kind, o.target_path, o.window, o.classification,
+         o.detail, o.activations, o.detections)
+        for o in result.outcomes
+    ]
+
+
+class TestSpecValidation:
+    def test_compiled_requires_synthesize(self):
+        with pytest.raises(FaultInjectionError, match="synthesize=True"):
+            CampaignSpec(
+                "bad", [FaultSpec("delayed_grant", "*")],
+                backend="compiled",
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown backend"):
+            CampaignSpec(
+                "bad", [FaultSpec("delayed_grant", "*")], backend="jit",
+            )
+
+    def test_functional_platform_cannot_synthesize(self):
+        with pytest.raises(FaultInjectionError, match="functional"):
+            CampaignSpec(
+                "bad", [FaultSpec("delayed_grant", "*")],
+                platform="functional", synthesize=True,
+            )
+
+
+class TestCampaignPlatform:
+    def test_compiled_spec_builds_compiled_channel(self):
+        bundle = build_campaign_platform(_spec("compiled"))
+        channel = bundle.synthesis.groups[0].channel
+        assert isinstance(channel, CompiledChannel)
+
+    def test_interpreted_spec_builds_interpreted_channel(self):
+        bundle = build_campaign_platform(_spec("interpreted"))
+        channel = bundle.synthesis.groups[0].channel
+        assert not isinstance(channel, CompiledChannel)
+
+
+class TestClassificationParity:
+    def test_serial_campaigns_classify_identically(self):
+        a = run_campaign(_spec("interpreted"), workers=1, max_runs=8)
+        b = run_campaign(_spec("compiled"), workers=1, max_runs=8)
+        assert _outcome_rows(a) == _outcome_rows(b)
+        assert len(a.outcomes) == 6  # one run per demo fault line
+        # The campaign must have produced at least one non-benign run,
+        # otherwise the parity above is vacuous.
+        assert any(
+            o.classification != "benign" for o in a.outcomes
+        )
+
+    @pytest.mark.slow
+    def test_pool_campaigns_classify_identically(self):
+        a = run_campaign(_spec("interpreted"), workers=2, max_runs=8)
+        b = run_campaign(_spec("compiled"), workers=2, max_runs=8)
+        assert _outcome_rows(a) == _outcome_rows(b)
