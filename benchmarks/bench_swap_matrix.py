@@ -1,0 +1,143 @@
+"""CI smoke: swap-matrix runtime and consistency vs a calibrated budget.
+
+Runs the full ``repro.iface.run_swap_matrix`` sweep (four bus families
+x three abstraction levels, seed 55) once for correctness — every cell
+must come back CONSISTENT with a full per-transaction signature match —
+and times the sweep against the checked-in budget
+``benchmarks/swap_matrix_baseline.json``.
+
+Wall-clock numbers are useless across machines, so the sweep time is
+normalized by a pure-Python calibration loop timed on the same host
+(same scheme as ``bench_analyze_runtime.py``).
+
+Usage::
+
+    python benchmarks/bench_swap_matrix.py            # compare (CI)
+    python benchmarks/bench_swap_matrix.py --update   # recalibrate
+
+Exit status 1 when a cell is inconsistent or the normalized sweep cost
+regresses past the tolerance (default 35%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.iface import run_swap_matrix  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "swap_matrix_baseline.json")
+REPEATS = 3
+CALIBRATION_LOOPS = 200_000
+SEED = 55
+N_COMMANDS = 25
+
+
+def _calibrate() -> float:
+    """Time a fixed pure-Python loop as the host-speed yardstick."""
+    acc = 0
+    started = time.perf_counter()
+    for i in range(CALIBRATION_LOOPS):
+        acc += i % 7
+    elapsed = time.perf_counter() - started
+    assert acc > 0
+    return elapsed
+
+
+def _sweep_once() -> "tuple[float, object]":
+    started = time.perf_counter()
+    report = run_swap_matrix(seed=SEED, n_commands=N_COMMANDS)
+    elapsed = time.perf_counter() - started
+    return elapsed, report
+
+
+def measure() -> "tuple[dict, object]":
+    calibration = min(_calibrate() for __ in range(REPEATS))
+    timings = []
+    report = None
+    for __ in range(REPEATS):
+        elapsed, report = _sweep_once()
+        timings.append(elapsed)
+    sweep = min(timings)
+    result = {
+        "workload": {
+            "seed": SEED,
+            "n_commands": N_COMMANDS,
+            "cells": len(report.cells),
+            "calibration_loops": CALIBRATION_LOOPS,
+        },
+        "calibration_seconds": calibration,
+        "sweep_seconds": sweep,
+        "normalized_sweep": sweep / calibration,
+    }
+    return result, report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="allowed slowdown vs baseline "
+                             "(default 0.35 = 35%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args(argv)
+
+    result, report = measure()
+    print(report.render())
+    print()
+    if not report.all_consistent:
+        print("FAIL: swap matrix has inconsistent cells", file=sys.stderr)
+        return 1
+    short = [
+        cell for cell in report.cells
+        if cell.signature_matches != N_COMMANDS
+    ]
+    if short:
+        print(f"FAIL: {len(short)} cell(s) short of "
+              f"{N_COMMANDS}/{N_COMMANDS} signature matches",
+              file=sys.stderr)
+        return 1
+
+    print(f"swap-matrix sweep ({result['workload']['cells']} cells, "
+          f"best of {REPEATS}):")
+    print(f"  run_swap_matrix: {result['sweep_seconds'] * 1e3:8.2f} ms "
+          f"({result['normalized_sweep']:.2f} calibration units)")
+
+    if args.update:
+        with open(args.baseline, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 1
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    reference = baseline["normalized_sweep"]
+    limit = reference * (1.0 + args.tolerance)
+    print(f"  baseline: {reference:.2f} units, "
+          f"limit {limit:.2f} (+{args.tolerance:.0%})")
+    if result["normalized_sweep"] > limit:
+        print("FAIL: swap-matrix runtime regressed "
+              f"({result['normalized_sweep']:.2f} > {limit:.2f})",
+              file=sys.stderr)
+        return 1
+    print("OK: swap matrix consistent and within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@ Commands:
 
 * ``flow``        — run the Figure 2 design flow end to end.
 * ``refine``      — the Figure 3 interface-swap comparison.
+* ``matrix``      — the swap matrix: every bus family x abstraction
+  level verified against the functional reference (``--fault-runs``).
 * ``waveforms``   — simulate the synthesized PCI handler, dump a VCD and
   print ASCII waveforms (Figure 4).
 * ``library``     — list the interface library contents.
@@ -28,7 +30,9 @@ Commands:
   ``--yosys`` emits the logic-synthesis hand-off script).
 
 Every command honours the global ``--seed``: repeated invocations with
-the same seed are bit-identical.
+the same seed are bit-identical.  Platform-building commands also take
+``--bus {pci,wishbone,axi4lite,tlmgp}`` to swap the interface element
+and ``--response-capacity N`` to size its response FIFO.
 """
 
 from __future__ import annotations
@@ -38,10 +42,12 @@ import sys
 
 from .core import compare_refinement, default_library, generate_workload
 from .flow import (
+    BUS_FAMILIES,
     DesignFlow,
     PciPlatformConfig,
     build_functional_platform,
     build_pci_platform,
+    build_platform,
     standard_flow_builders,
 )
 from .kernel import MS, NS
@@ -61,11 +67,31 @@ def _default_workloads(seed: int, n_commands: int):
                               address_span=0x400, max_burst=4)]
 
 
+def _platform_config(args: argparse.Namespace, **overrides):
+    """A PciPlatformConfig honouring the global --response-capacity."""
+    capacity = getattr(args, "response_capacity", None)
+    return PciPlatformConfig(response_capacity=capacity, **overrides)
+
+
+def _effective_bus(args: argparse.Namespace) -> str:
+    """The pin-level bus family selected by the global ``--bus``."""
+    bus = getattr(args, "bus", None) or "pci"
+    if bus == "functional":
+        raise SystemExit(
+            "error: --bus functional is the reference side; pick a "
+            "pin-level or transaction family"
+        )
+    return bus
+
+
 def _cmd_flow(args: argparse.Namespace) -> int:
+    bus = _effective_bus(args)
     flow = DesignFlow(
-        {"name": "pci-device-under-design", "bus": "pci"},
+        {"name": f"{bus}-device-under-design", "bus": bus},
         *standard_flow_builders(
-            _default_workloads(_effective_seed(args), args.commands)
+            _default_workloads(_effective_seed(args), args.commands),
+            _platform_config(args),
+            bus=bus,
         ),
     )
     report = flow.run(200 * MS)
@@ -75,13 +101,30 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
 def _cmd_refine(args: argparse.Namespace) -> int:
     workloads = _default_workloads(_effective_seed(args), args.commands)
+    config = _platform_config(args)
+    bus = _effective_bus(args)
     report = compare_refinement(
-        lambda: build_functional_platform(workloads).handle,
-        lambda: build_pci_platform(workloads).handle,
+        lambda: build_functional_platform(workloads, config).handle,
+        lambda: build_platform(workloads, config, bus=bus).handle,
         max_time=200 * MS,
     )
     print(report.summary())
     return 0 if report.consistent else 1
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .iface.matrix import DEFAULT_BUSES, run_swap_matrix
+
+    buses = DEFAULT_BUSES if args.bus is None else (_effective_bus(args),)
+    report = run_swap_matrix(
+        seed=args.seed if args.seed is not None else 55,
+        n_commands=args.commands,
+        buses=buses,
+        config=_platform_config(args),
+        fault_runs=args.fault_runs,
+    )
+    print(report.render())
+    return 0 if report.all_consistent else 1
 
 
 def _cmd_waveforms(args: argparse.Namespace) -> int:
@@ -98,8 +141,11 @@ def _cmd_waveforms(args: argparse.Namespace) -> int:
             CommandType.write(0x100, [0xDEADBEEF, 0x12345678, 0xCAFEF00D]),
             CommandType.read(0x100, count=3),
         ]
+    if _effective_bus(args) != "pci":
+        print("waveforms: the Figure 4 dump is PCI-specific; drop --bus")
+        return 2
     bundle = build_pci_platform(
-        [commands], PciPlatformConfig(wait_states=1), synthesize=True
+        [commands], _platform_config(args, wait_states=1), synthesize=True
     )
     sim = bundle.handle.sim
     capture = WaveformCapture()
@@ -166,8 +212,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    bundle = build_pci_platform(
+    bundle = build_platform(
         _default_workloads(_effective_seed(args), args.commands),
+        _platform_config(args),
+        bus=_effective_bus(args),
         synthesize=True,
     )
     synthesis = bundle.synthesis
@@ -191,9 +239,22 @@ def main(argv: "list[str] | None" = None) -> int:
                              "identical seeds reproduce identical runs")
     parser.add_argument("--commands", type=int, default=20,
                         help="commands per application (default 20)")
+    parser.add_argument("--bus", choices=BUS_FAMILIES, default=None,
+                        help="bus family for platform-building commands "
+                             "(default pci; matrix sweeps all families "
+                             "unless one is named)")
+    parser.add_argument("--response-capacity", type=int, default=None,
+                        help="interface-element response-FIFO depth "
+                             "(default 4)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("flow", help="run the Figure 2 design flow")
     sub.add_parser("refine", help="Figure 3 interface-swap comparison")
+    matrix = sub.add_parser(
+        "matrix", help="run the bus x abstraction swap matrix"
+    )
+    matrix.add_argument("--fault-runs", type=int, default=0,
+                        help="also run about this many demo fault-campaign "
+                             "runs per bus family (default 0 = skip)")
     waveforms = sub.add_parser("waveforms", help="Figure 4 waveform dump")
     waveforms.add_argument("--vcd", default="repro_waveforms.vcd",
                            help="output VCD path")
@@ -239,6 +300,7 @@ def main(argv: "list[str] | None" = None) -> int:
     handlers = {
         "flow": _cmd_flow,
         "refine": _cmd_refine,
+        "matrix": _cmd_matrix,
         "waveforms": _cmd_waveforms,
         "library": _cmd_library,
         "lint": _cmd_lint,

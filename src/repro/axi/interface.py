@@ -1,10 +1,10 @@
-"""The Wishbone library interface element.
+"""The AXI4-Lite library interface element.
 
-Same pattern as :class:`~repro.core.pci_interface.PciBusInterface`: the
-application talks guarded methods, the dispatcher drives the pin-level
-Wishbone master. Registering this class (plus the functional alias) in
-an :class:`~repro.core.library.InterfaceLibrary` gives the library a
-second bus — the generalisation the paper's methodology promises.
+Same contract as the PCI and Wishbone elements: applications talk to a
+:class:`~repro.core.channel.BusInterfaceChannel`, the dispatcher drives
+the pin-level AXI4-Lite master. The element pair (pin-accurate plus
+functional alias) fills the ``axi4lite`` slot of an
+:class:`~repro.core.library.InterfaceLibrary`.
 """
 
 from __future__ import annotations
@@ -16,38 +16,38 @@ from ..hdl.signal import Signal
 from ..iface.element import InterfaceElement
 from ..iface.params import IfaceParams
 from ..osss.arbiter import Arbiter
-from .master import WishboneMaster, WishboneOperation
-from .signals import WishboneBus
+from .master import AxiLiteMaster, AxiLiteOperation
+from .signals import AxiLiteBus
 
 
-def _to_wishbone_operation(
-    command: CommandType, sel_bits: int = 4
-) -> WishboneOperation:
+def _to_axi_operation(
+    command: CommandType, strb_bits: int = 4
+) -> AxiLiteOperation:
     if command.is_write:
-        operation = WishboneOperation.write(
-            command.address, command.data, sel=command.byte_enables,
-            sel_bits=sel_bits,
+        operation = AxiLiteOperation.write(
+            command.address, command.data, strb=command.byte_enables,
+            strb_bits=strb_bits,
         )
     else:
-        operation = WishboneOperation.read(
-            command.address, count=command.count, sel=command.byte_enables,
-            sel_bits=sel_bits,
+        operation = AxiLiteOperation.read(
+            command.address, count=command.count, strb=command.byte_enables,
+            strb_bits=strb_bits,
         )
     operation.corr_id = command.corr_id
     return operation
 
 
-class WishboneBusInterface(InterfaceElement):
-    """Pin-accurate Wishbone interface element."""
+class AxiLiteBusInterface(InterfaceElement):
+    """Pin-accurate AXI4-Lite interface element."""
 
-    BUS_NAME = "wishbone"
+    BUS_NAME = "axi4lite"
     ABSTRACTION = "pin_accurate"
 
     def __init__(
         self,
         parent: Module,
         name: str,
-        bus: WishboneBus,
+        bus: AxiLiteBus,
         clk: Signal,
         arbiter: Arbiter | None = None,
         response_capacity: int | None = None,
@@ -63,7 +63,7 @@ class WishboneBusInterface(InterfaceElement):
         )
         self.bus = bus
         self.clk = clk
-        self.master = WishboneMaster(self, "master", bus, clk)
+        self.master = AxiLiteMaster(self, "master", bus, clk)
         self.operations_failed = 0
         self.thread(self._dispatch, "dispatch")
 
@@ -72,16 +72,16 @@ class WishboneBusInterface(InterfaceElement):
         return None if operation.status == "ok" else operation.status
 
     def _dispatch(self):
-        sel_bits = self.bus.sel_width
+        strb_bits = self.bus.strb_width
         while True:
             epoch, command = yield from self.channel.call("get_command")
             if self.recovery is None:
-                operation = _to_wishbone_operation(command, sel_bits)
+                operation = _to_axi_operation(command, strb_bits)
                 yield from self.master.transact(operation)
             else:
                 operation = yield from self._transact_with_recovery(
                     command,
-                    lambda cmd: _to_wishbone_operation(cmd, sel_bits),
+                    lambda cmd: _to_axi_operation(cmd, strb_bits),
                     self.master.transact,
                     self._operation_failure,
                 )
@@ -94,8 +94,8 @@ class WishboneBusInterface(InterfaceElement):
                 yield from self.channel.call("put_response", epoch, response)
 
 
-class WishboneFunctionalInterface(FunctionalBusInterface):
-    """The functional element re-tagged for the wishbone library slot."""
+class AxiLiteFunctionalInterface(FunctionalBusInterface):
+    """The functional element re-tagged for the axi4lite library slot."""
 
-    BUS_NAME = "wishbone"
+    BUS_NAME = "axi4lite"
     ABSTRACTION = "functional"

@@ -13,10 +13,7 @@
 from .application import Application, TransactionRecord, wait_for_all
 from .bus_interface import BusInterface, BusInterfaceChannel
 from .command import READ, WRITE, CommandType, DataType
-from .functional_interface import FunctionalBusInterface
-from .library import InterfaceLibrary, default_library
 from .nonblocking import NonBlockingBusInterfaceChannel, PollingApplication
-from .pci_interface import PciBusInterface
 from .refinement import (
     PlatformHandle,
     RefinementReport,
@@ -24,6 +21,27 @@ from .refinement import (
     compare_refinement,
 )
 from .workload import expected_memory_image, generate_workload, sequential_fill
+
+#: Concrete element classes resolved lazily: they subclass
+#: repro.iface.InterfaceElement, which itself builds on this package —
+#: eager imports here would close the cycle when repro.iface is the
+#: import entry point.
+_ELEMENT_NAMES = {
+    "FunctionalBusInterface": "functional_interface",
+    "PciBusInterface": "pci_interface",
+    "InterfaceLibrary": "library",
+    "default_library": "library",
+}
+
+
+def __getattr__(name: str):
+    module_name = _ELEMENT_NAMES.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Application",

@@ -12,16 +12,17 @@ from __future__ import annotations
 
 from ..errors import SimulationError
 from ..hdl.module import Module
+from ..iface.element import InterfaceElement
+from ..iface.params import IfaceParams
 from ..instrument.probes import TRANSACTION_BEGIN, TRANSACTION_END, new_txn_id
 from ..kernel.process import Timeout
 from ..kernel.simulator import Simulator
 from ..osss.arbiter import Arbiter
 from ..tlm.interfaces import TlmTarget
-from .bus_interface import BusInterface
 from .command import DataType
 
 
-class FunctionalBusInterface(BusInterface):
+class FunctionalBusInterface(InterfaceElement):
     """Transaction-level interface element over a functional target.
 
     :param target: the functional model of everything behind the bus
@@ -40,12 +41,13 @@ class FunctionalBusInterface(BusInterface):
         target: TlmTarget,
         word_latency: int = 0,
         arbiter: Arbiter | None = None,
-        response_capacity: int = 4,
+        response_capacity: int | None = None,
         channel_cls: type | None = None,
+        params: IfaceParams | None = None,
     ) -> None:
         from .bus_interface import BusInterfaceChannel
 
-        super().__init__(parent, name, arbiter, response_capacity,
+        super().__init__(parent, name, arbiter, params, response_capacity,
                          channel_cls or BusInterfaceChannel)
         if word_latency < 0:
             raise SimulationError(f"word latency must be >= 0, got {word_latency}")

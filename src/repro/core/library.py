@@ -59,10 +59,20 @@ class InterfaceLibrary:
 def default_library() -> InterfaceLibrary:
     """The library shipped with the reproduction.
 
-    Two buses, each at two abstraction levels: PCI (the paper's example)
-    and Wishbone (the generalisation the methodology promises).
+    Four bus families: PCI (the paper's example), Wishbone and AXI4-Lite
+    (pin-level generalisations), and the TLM-2.0-style generic payload
+    (transaction level). Each pin-level family also carries a functional
+    alias, so any family can be simulated before refinement.
     """
-    # Local import: the wishbone package builds on repro.core.
+    # Local imports: these packages build on repro.core.
+    from ..axi.interface import (
+        AxiLiteBusInterface,
+        AxiLiteFunctionalInterface,
+    )
+    from ..tlm.generic_payload import (
+        TlmGpBusInterface,
+        TlmGpFunctionalInterface,
+    )
     from ..wishbone.interface import (
         WishboneBusInterface,
         WishboneFunctionalInterface,
@@ -73,4 +83,8 @@ def default_library() -> InterfaceLibrary:
     library.register(PciBusInterface)
     library.register(WishboneFunctionalInterface)
     library.register(WishboneBusInterface)
+    library.register(AxiLiteFunctionalInterface)
+    library.register(AxiLiteBusInterface)
+    library.register(TlmGpFunctionalInterface)
+    library.register(TlmGpBusInterface)
     return library

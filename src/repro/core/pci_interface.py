@@ -18,15 +18,16 @@ from __future__ import annotations
 
 from ..hdl.module import Module
 from ..hdl.signal import Signal
+from ..iface.element import InterfaceElement
+from ..iface.params import IfaceParams
 from ..osss.arbiter import Arbiter
 from ..pci.constants import STATUS_OK
 from ..pci.master import PciMaster
 from ..pci.signals import PciBus
-from .bus_interface import BusInterface
 from .command import DataType
 
 
-class PciBusInterface(BusInterface):
+class PciBusInterface(InterfaceElement):
     """Pin-accurate PCI interface element.
 
     :param bus: the PCI wire bundle to attach to.
@@ -45,13 +46,17 @@ class PciBusInterface(BusInterface):
         clk: Signal,
         master_index: int = 0,
         arbiter: Arbiter | None = None,
-        response_capacity: int = 4,
+        response_capacity: int | None = None,
         channel_cls: type | None = None,
+        params: IfaceParams | None = None,
     ) -> None:
         from .bus_interface import BusInterfaceChannel
 
-        super().__init__(parent, name, arbiter, response_capacity,
+        if params is None:
+            params = IfaceParams(data_width=bus.ad_width)
+        super().__init__(parent, name, arbiter, params, response_capacity,
                          channel_cls or BusInterfaceChannel)
+        self.check_bus_widths(data_width=bus.ad_width)
         self.bus = bus
         self.clk = clk
         self.master = PciMaster(self, "master", bus, clk, master_index)

@@ -28,13 +28,13 @@ from __future__ import annotations
 import time as _time
 import typing
 
+import functools
+
 from ..errors import RefinementError, ReproError
 from ..flow.platforms import (
     PciPlatformConfig,
     PlatformBundle,
-    build_functional_platform,
-    build_pci_platform,
-    build_wishbone_platform,
+    build_platform,
 )
 from ..hdl.resolved import ResolvedSignal
 from ..hdl.signal import Signal
@@ -60,10 +60,11 @@ CLASSIFICATIONS = (
     DETECTED, SILENT, BENIGN, RECOVERED, TIMEOUT, ERROR, WORKER_ERROR
 )
 
+#: One builder per attackable platform, all backed by the generic
+#: :func:`~repro.flow.platforms.build_platform`.
 _BUILDERS = {
-    "pci": build_pci_platform,
-    "wishbone": build_wishbone_platform,
-    "functional": build_functional_platform,
+    family: functools.partial(build_platform, bus=family)
+    for family in ("pci", "wishbone", "axi4lite", "tlmgp", "functional")
 }
 
 

@@ -69,7 +69,7 @@ def run(args: argparse.Namespace) -> int:
     if synthesize and args.platform == "functional":
         print(
             "fault: the functional platform has no clock to synthesize "
-            "against; use --platform pci or wishbone"
+            "against; use --platform pci, wishbone, axi4lite or tlmgp"
         )
         return 2
     spec = demo_campaign_spec(

@@ -17,8 +17,9 @@ from ..core.workload import _Lcg
 from ..kernel.simtime import NS
 from .models import CHANNEL_TARGET, FAULT_KINDS, FaultInjectionError
 
-#: Platforms a campaign can run against.
-PLATFORMS = ("pci", "wishbone", "functional")
+#: Platforms a campaign can run against (the bus families of
+#: :func:`repro.flow.build_platform`).
+PLATFORMS = ("pci", "wishbone", "axi4lite", "tlmgp", "functional")
 
 
 class FaultSpec:
@@ -110,7 +111,8 @@ class CampaignSpec:
         if synthesize and platform == "functional":
             raise FaultInjectionError(
                 "the functional platform has no clock to synthesize "
-                "against; use the pci or wishbone platform"
+                "against; use a clocked platform (pci, wishbone, "
+                "axi4lite or tlmgp)"
             )
         self.name = name
         self.faults = list(faults)
@@ -319,8 +321,16 @@ def demo_campaign_spec(
             FaultSpec("glitch", "top.bus.ack", params={"value": 1}),
             FaultSpec("stuck_at", "top.bus.ack", params={"value": 0}),
         ]
+    elif platform == "axi4lite":
+        pin_lines = [
+            FaultSpec("bit_flip", "top.bus.wdata", params={"bit": None}),
+            FaultSpec("glitch", "top.bus.bvalid", params={"value": 1}),
+            FaultSpec("stuck_at", "top.bus.arready", params={"value": 0}),
+        ]
     else:
-        pin_lines = []  # the functional platform has no wires
+        # The functional and generic-payload platforms have no wires;
+        # only the channel layer is attackable.
+        pin_lines = []
     channel = "top.interface.channel"
     channel_lines = [
         FaultSpec("command_corruption", channel,

@@ -2,22 +2,30 @@
 
 from .design_flow import DesignFlow, FlowReport, FlowStage
 from .platforms import (
+    BUS_FAMILIES,
     PciPlatformConfig,
     PlatformBundle,
+    build_axi4lite_platform,
     build_functional_platform,
     build_pci_platform,
+    build_platform,
+    build_tlmgp_platform,
     build_wishbone_platform,
     standard_flow_builders,
 )
 
 __all__ = [
+    "BUS_FAMILIES",
     "DesignFlow",
     "FlowReport",
     "FlowStage",
     "PciPlatformConfig",
     "PlatformBundle",
+    "build_axi4lite_platform",
     "build_functional_platform",
     "build_pci_platform",
+    "build_platform",
+    "build_tlmgp_platform",
     "build_wishbone_platform",
     "standard_flow_builders",
 ]

@@ -1,15 +1,29 @@
-"""Canonical executable platforms for the paper's PCI example.
+"""Canonical executable platforms, one per bus family.
 
-Both platforms host the same IPs (a memory and a register-block
+Every platform hosts the same IPs (a memory and a register-block
 peripheral) behind the same address map, and the same applications —
 only the bus interface element differs, which is exactly the paper's
 refinement claim. Examples, tests and benches build their systems
-through these helpers instead of hand-wiring testbenches.
+through :func:`build_platform` (or the per-family wrappers) instead of
+hand-wiring testbenches.
 
 Address map::
 
     0x0000_0000 .. +mem_size   memory
     peripheral_base .. +0x10   status register block
+
+The bus families (:data:`BUS_FAMILIES`):
+
+``functional``
+    TLM interface straight into the functional IP models (no wires).
+``pci``
+    The paper's example: multiplexed tri-state PCI with central arbiter.
+``wishbone``
+    Classic-cycle Wishbone B3.
+``axi4lite``
+    Five-channel VALID/READY AXI4-Lite.
+``tlmgp``
+    TLM-2.0-style generic payload through a blocking-transport socket.
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ from ..core.refinement import PlatformHandle
 from ..errors import RefinementError
 from ..hdl.clock import Clock
 from ..hdl.module import Module
+from ..iface.params import IfaceParams
 from ..kernel.simtime import NS
 from ..kernel.simulator import Simulator
 from ..osss.arbiter import Arbiter
@@ -35,9 +50,17 @@ from ..tlm.memory import Memory
 from ..tlm.peripheral import StatusRegisterBlock
 from ..tlm.router import AddressRouter
 
+#: Every bus family :func:`build_platform` can elaborate.
+BUS_FAMILIES = ("functional", "pci", "wishbone", "axi4lite", "tlmgp")
+
 
 class PciPlatformConfig:
-    """Shared knobs of the example platforms."""
+    """Shared knobs of the example platforms.
+
+    (The name is historical — the same config drives every bus family;
+    family-specific knobs like ``wait_states`` map onto the nearest
+    analogue of each substrate.)
+    """
 
     def __init__(
         self,
@@ -50,11 +73,12 @@ class PciPlatformConfig:
         disconnect_after: int | None = None,
         word_latency: int = 0,
         arbiter: Arbiter | None = None,
-        response_capacity: int = 4,
+        response_capacity: int | None = None,
         monitor_strict: bool = True,
         app_think_time: int = 0,
         resilience: object | None = None,
         backend: str = "interpreted",
+        params: IfaceParams | None = None,
     ) -> None:
         if backend not in ("interpreted", "compiled"):
             raise RefinementError(
@@ -70,7 +94,21 @@ class PciPlatformConfig:
         self.disconnect_after = disconnect_after
         self.word_latency = word_latency
         self.arbiter = arbiter
-        self.response_capacity = response_capacity
+        #: Structural parameters of the interface element (widths, burst
+        #: bound, response-FIFO depth). An explicit ``response_capacity``
+        #: argument overrides the one inside ``params`` — the historical
+        #: spelling of the only knob that predates IfaceParams.
+        if params is None:
+            params = IfaceParams(
+                response_capacity=(
+                    4 if response_capacity is None else response_capacity
+                )
+            )
+        elif response_capacity is not None:
+            params = params.with_response_capacity(response_capacity)
+        self.params = params
+        #: Legacy mirror of ``params.response_capacity``.
+        self.response_capacity = params.response_capacity
         self.monitor_strict = monitor_strict
         #: fs of local work each application simulates between commands
         #: (0 = back-to-back traffic; >0 leaves idle bus cycles).
@@ -113,14 +151,15 @@ class PlatformBundle:
         monitor=None,
         clock: Clock | None = None,
         synthesis: object | None = None,
-        bus: PciBus | None = None,
+        bus=None,
     ) -> None:
         self.handle = handle
         self.top = top
         self.memory = memory
         self.peripheral = peripheral
         self.interface = interface
-        #: Bus monitor (PciMonitor or WishboneMonitor), when present.
+        #: Bus monitor (PciMonitor/WishboneMonitor/AxiLiteMonitor), when
+        #: the family has wires to watch.
         self.monitor = monitor
         self.clock = clock
         self.synthesis = synthesis
@@ -130,50 +169,318 @@ class PlatformBundle:
         return self.handle.run(max_time)
 
 
+# -- per-family structural elaboration ---------------------------------------
+#
+# Each attach function wires the family's substrate onto *top* in a FIXED
+# creation order (modules, signals and processes register in creation
+# order, and waveform byte-stability — fig4.vcd — depends on it). All of
+# them leave ``top.interface`` behind; clocked families also set
+# ``top.clock``/``top.bus``/``top.monitor``.
+
+
+def _attach_functional(top: Module, config: PciPlatformConfig,
+                       element_cls: type) -> None:
+    top.memory = Memory(config.mem_size)
+    top.peripheral = StatusRegisterBlock()
+    router = AddressRouter()
+    router.add_target(0, config.mem_size, top.memory, "mem")
+    router.add_target(config.peripheral_base, 0x10, top.peripheral, "regs")
+    top.interface = element_cls(
+        top,
+        "interface",
+        router,
+        word_latency=config.word_latency,
+        arbiter=config.arbiter,
+        params=config.params,
+    )
+
+
+def _attach_pci(top: Module, config: PciPlatformConfig,
+                element_cls: type) -> None:
+    top.clock = Clock(top, "clock", period=config.clock_period)
+    top.bus = PciBus(top, "bus", n_masters=1,
+                     ad_width=config.params.data_width)
+    top.pci_arbiter = PciCentralArbiter(
+        top, "pci_arbiter", top.bus, top.clock.clk
+    )
+    top.memory = Memory(config.mem_size)
+    top.peripheral = StatusRegisterBlock()
+    top.mem_target = PciTarget(
+        top, "mem_target", top.bus, top.clock.clk, top.memory,
+        base=0, size=config.mem_size,
+        decode_latency=config.decode_latency,
+        wait_states=config.wait_states,
+        retry_count=config.retry_count,
+        disconnect_after=config.disconnect_after,
+    )
+    top.reg_target = PciTarget(
+        top, "reg_target", top.bus, top.clock.clk, top.peripheral,
+        base=config.peripheral_base, size=0x10,
+        decode_latency=config.decode_latency,
+    )
+    top.monitor = PciMonitor(
+        top, "monitor", top.bus, top.clock.clk,
+        strict=config.monitor_strict,
+    )
+    top.interface = element_cls(
+        top,
+        "interface",
+        top.bus,
+        top.clock.clk,
+        arbiter=config.arbiter,
+        params=config.params,
+    )
+
+
+def _attach_wishbone(top: Module, config: PciPlatformConfig,
+                     element_cls: type) -> None:
+    from ..wishbone.monitor import WishboneMonitor
+    from ..wishbone.signals import WishboneBus
+    from ..wishbone.slave import WishboneSlave
+
+    top.clock = Clock(top, "clock", period=config.clock_period)
+    top.bus = WishboneBus(top, "bus",
+                          data_width=config.params.data_width,
+                          addr_width=config.params.addr_width)
+    top.memory = Memory(config.mem_size)
+    top.peripheral = StatusRegisterBlock()
+    top.mem_slave = WishboneSlave(
+        top, "mem_slave", top.bus, top.clock.clk, top.memory,
+        base=0, size=config.mem_size,
+        ack_latency=config.wait_states,
+    )
+    top.reg_slave = WishboneSlave(
+        top, "reg_slave", top.bus, top.clock.clk, top.peripheral,
+        base=config.peripheral_base, size=0x10,
+    )
+    top.monitor = WishboneMonitor(
+        top, "monitor", top.bus, top.clock.clk,
+        strict=config.monitor_strict,
+    )
+    top.interface = element_cls(
+        top,
+        "interface",
+        top.bus,
+        top.clock.clk,
+        arbiter=config.arbiter,
+        params=config.params,
+    )
+
+
+def _attach_axi4lite(top: Module, config: PciPlatformConfig,
+                     element_cls: type) -> None:
+    from ..axi.monitor import AxiLiteMonitor
+    from ..axi.signals import AxiLiteBus
+    from ..axi.slave import AxiLiteSlave
+
+    top.clock = Clock(top, "clock", period=config.clock_period)
+    top.bus = AxiLiteBus(top, "bus",
+                         data_width=config.params.data_width,
+                         addr_width=config.params.addr_width)
+    top.memory = Memory(config.mem_size)
+    top.peripheral = StatusRegisterBlock()
+    top.mem_slave = AxiLiteSlave(
+        top, "mem_slave", top.bus, top.clock.clk, top.memory,
+        base=0, size=config.mem_size,
+        accept_latency=config.wait_states,
+    )
+    top.reg_slave = AxiLiteSlave(
+        top, "reg_slave", top.bus, top.clock.clk, top.peripheral,
+        base=config.peripheral_base, size=0x10,
+    )
+    top.monitor = AxiLiteMonitor(
+        top, "monitor", top.bus, top.clock.clk,
+        strict=config.monitor_strict,
+    )
+    top.interface = element_cls(
+        top,
+        "interface",
+        top.bus,
+        top.clock.clk,
+        arbiter=config.arbiter,
+        params=config.params,
+    )
+
+
+def _attach_tlmgp(top: Module, config: PciPlatformConfig,
+                  element_cls: type) -> None:
+    from ..tlm.generic_payload import GpTargetSocket
+
+    # A clock so the channel can still be synthesized (the generic
+    # payload itself never touches wires).
+    top.clock = Clock(top, "clock", period=config.clock_period)
+    top.memory = Memory(config.mem_size)
+    top.peripheral = StatusRegisterBlock()
+    router = AddressRouter()
+    router.add_target(0, config.mem_size, top.memory, "mem")
+    router.add_target(config.peripheral_base, 0x10, top.peripheral, "regs")
+    top.socket = GpTargetSocket(
+        router,
+        accept_latency=config.decode_latency * config.clock_period,
+        word_latency=config.word_latency,
+    )
+    top.interface = element_cls(
+        top,
+        "interface",
+        top.socket,
+        arbiter=config.arbiter,
+        params=config.params,
+    )
+
+
+_FAMILY_ATTACH = {
+    "functional": _attach_functional,
+    "pci": _attach_pci,
+    "wishbone": _attach_wishbone,
+    "axi4lite": _attach_axi4lite,
+    "tlmgp": _attach_tlmgp,
+}
+
+
+def _default_element(bus: str) -> type:
+    if bus == "functional":
+        return FunctionalBusInterface
+    if bus == "pci":
+        return PciBusInterface
+    if bus == "wishbone":
+        from ..wishbone.interface import WishboneBusInterface
+
+        return WishboneBusInterface
+    if bus == "axi4lite":
+        from ..axi.interface import AxiLiteBusInterface
+
+        return AxiLiteBusInterface
+    if bus == "tlmgp":
+        from ..tlm.generic_payload import TlmGpBusInterface
+
+        return TlmGpBusInterface
+    raise RefinementError(
+        f"unknown bus family {bus!r}; expected one of {BUS_FAMILIES}"
+    )
+
+
+def _family_of_element(element_cls: type) -> str:
+    """The platform topology an interface-element class plugs into."""
+    abstraction = getattr(element_cls, "ABSTRACTION", "abstract")
+    if abstraction == "functional":
+        return "functional"
+    if abstraction == "transaction":
+        return "tlmgp"
+    bus = getattr(element_cls, "BUS_NAME", "abstract")
+    if bus not in BUS_FAMILIES:
+        raise RefinementError(
+            f"{element_cls.__name__} targets unknown bus {bus!r}"
+        )
+    return bus
+
+
+def _default_label(bus: str, synthesize: bool) -> str:
+    if bus == "functional":
+        return "functional"
+    if bus == "pci":
+        return "post_synthesis" if synthesize else "pin_accurate"
+    return f"{bus}_post_synthesis" if synthesize else bus
+
+
+class _PlatformTop(Module):
+    """Generic top module: one family substrate + the applications."""
+
+    def __init__(
+        self,
+        parent: Simulator,
+        name: str,
+        config: PciPlatformConfig,
+        workloads: typing.Sequence[typing.Sequence[CommandType]],
+        family: str,
+        element_cls: type,
+    ) -> None:
+        super().__init__(parent, name)
+        _FAMILY_ATTACH[family](self, config, element_cls)
+        self.apps = [
+            Application(self, f"app{i}", commands, self.interface,
+                        think_time=config.app_think_time)
+            for i, commands in enumerate(workloads)
+        ]
+
+
+def build_platform(
+    workloads: typing.Sequence[typing.Sequence[CommandType]],
+    config: PciPlatformConfig | None = None,
+    bus: str = "pci",
+    synthesize: bool = False,
+    label: str | None = None,
+    synthesis_config: object | None = None,
+    element: type | None = None,
+) -> PlatformBundle:
+    """Build the example system behind any library interface element.
+
+    :param bus: a :data:`BUS_FAMILIES` name selecting the substrate and
+        its default element.
+    :param element: an explicit interface-element class; overrides *bus*
+        (the family is derived from the element's tags), which is the
+        "pick a different IP from the library" move.
+    :param synthesize: apply communication synthesis to every
+        global-object channel before returning (the paper's step 2).
+        Rejected for the functional family — there is nothing to lower.
+    """
+    config = config or PciPlatformConfig()
+    if element is not None:
+        family = _family_of_element(element)
+    else:
+        family = bus
+        if family not in BUS_FAMILIES:
+            raise RefinementError(
+                f"unknown bus family {family!r}; expected one of "
+                f"{BUS_FAMILIES}"
+            )
+        element = _default_element(family)
+    if synthesize and family == "functional":
+        raise RefinementError(
+            "the functional platform has no channel to synthesize; pick a "
+            "pin-level or transaction family"
+        )
+    sim = Simulator()
+    top = _PlatformTop(sim, "top", config, workloads, family, element)
+    synthesis = None
+    if synthesize:
+        from ..synthesis.tool import SynthesisConfig, synthesize_communication
+
+        if synthesis_config is None:
+            synthesis_config = SynthesisConfig(
+                backend=config.backend,
+                data_width=config.params.data_width,
+            )
+        synthesis = synthesize_communication(
+            sim, top.clock.clk, synthesis_config  # type: ignore[arg-type]
+        )
+    if label is None:
+        label = _default_label(family, synthesize)
+    interface = top.interface
+    _maybe_apply_resilience(interface, config)
+    clock = getattr(top, "clock", None)
+    handle = PlatformHandle(
+        sim, top.apps, label,
+        quiesce=lambda: (
+            interface.channel_state.commands_put == interface.commands_serviced
+        ),
+        quiesce_poll=config.clock_period if clock is not None else NS,
+    )
+    return PlatformBundle(
+        handle, top, top.memory, top.peripheral, interface,
+        monitor=getattr(top, "monitor", None),
+        clock=clock,
+        synthesis=synthesis,
+        bus=getattr(top, "bus", None),
+    )
+
+
 def build_functional_platform(
     workloads: typing.Sequence[typing.Sequence[CommandType]],
     config: PciPlatformConfig | None = None,
     label: str = "functional",
 ) -> PlatformBundle:
     """The high-level executable model: TLM interface, functional IPs."""
-    config = config or PciPlatformConfig()
-    sim = Simulator()
-
-    class FunctionalTop(Module):
-        def __init__(self, parent: Simulator, name: str) -> None:
-            super().__init__(parent, name)
-            self.memory = Memory(config.mem_size)
-            self.peripheral = StatusRegisterBlock()
-            router = AddressRouter()
-            router.add_target(0, config.mem_size, self.memory, "mem")
-            router.add_target(config.peripheral_base, 0x10, self.peripheral, "regs")
-            self.interface = FunctionalBusInterface(
-                self,
-                "interface",
-                router,
-                word_latency=config.word_latency,
-                arbiter=config.arbiter,
-                response_capacity=config.response_capacity,
-            )
-            self.apps = [
-                Application(self, f"app{i}", commands, self.interface,
-                            think_time=config.app_think_time)
-                for i, commands in enumerate(workloads)
-            ]
-
-    top = FunctionalTop(sim, "top")
-    interface = top.interface
-    _maybe_apply_resilience(top.interface, config)
-    handle = PlatformHandle(
-        sim, top.apps, label,
-        quiesce=lambda: (
-            interface.channel_state.commands_put == interface.commands_serviced
-        ),
-        quiesce_poll=NS,
-    )
-    return PlatformBundle(
-        handle, top, top.memory, top.peripheral, top.interface
-    )
+    return build_platform(workloads, config, bus="functional", label=label)
 
 
 def build_pci_platform(
@@ -183,80 +490,10 @@ def build_pci_platform(
     label: str | None = None,
     synthesis_config: object | None = None,
 ) -> PlatformBundle:
-    """The implementation model: pin-accurate PCI interface + targets.
-
-    :param synthesize: apply communication synthesis to every
-        global-object channel before returning (the paper's step 2).
-    """
-    config = config or PciPlatformConfig()
-    sim = Simulator()
-
-    class PciTop(Module):
-        def __init__(self, parent: Simulator, name: str) -> None:
-            super().__init__(parent, name)
-            self.clock = Clock(self, "clock", period=config.clock_period)
-            self.bus = PciBus(self, "bus", n_masters=1)
-            self.pci_arbiter = PciCentralArbiter(
-                self, "pci_arbiter", self.bus, self.clock.clk
-            )
-            self.memory = Memory(config.mem_size)
-            self.peripheral = StatusRegisterBlock()
-            self.mem_target = PciTarget(
-                self, "mem_target", self.bus, self.clock.clk, self.memory,
-                base=0, size=config.mem_size,
-                decode_latency=config.decode_latency,
-                wait_states=config.wait_states,
-                retry_count=config.retry_count,
-                disconnect_after=config.disconnect_after,
-            )
-            self.reg_target = PciTarget(
-                self, "reg_target", self.bus, self.clock.clk, self.peripheral,
-                base=config.peripheral_base, size=0x10,
-                decode_latency=config.decode_latency,
-            )
-            self.monitor = PciMonitor(
-                self, "monitor", self.bus, self.clock.clk,
-                strict=config.monitor_strict,
-            )
-            self.interface = PciBusInterface(
-                self,
-                "interface",
-                self.bus,
-                self.clock.clk,
-                arbiter=config.arbiter,
-                response_capacity=config.response_capacity,
-            )
-            self.apps = [
-                Application(self, f"app{i}", commands, self.interface,
-                            think_time=config.app_think_time)
-                for i, commands in enumerate(workloads)
-            ]
-
-    top = PciTop(sim, "top")
-    synthesis = None
-    if synthesize:
-        from ..synthesis.tool import SynthesisConfig, synthesize_communication
-
-        if synthesis_config is None:
-            synthesis_config = SynthesisConfig(backend=config.backend)
-        synthesis = synthesize_communication(
-            sim, top.clock.clk, synthesis_config  # type: ignore[arg-type]
-        )
-    if label is None:
-        label = "post_synthesis" if synthesize else "pin_accurate"
-    interface = top.interface
-    _maybe_apply_resilience(top.interface, config)
-    handle = PlatformHandle(
-        sim, top.apps, label,
-        quiesce=lambda: (
-            interface.channel_state.commands_put == interface.commands_serviced
-        ),
-        quiesce_poll=config.clock_period,
-    )
-    return PlatformBundle(
-        handle, top, top.memory, top.peripheral, top.interface,
-        monitor=top.monitor, clock=top.clock, synthesis=synthesis,
-        bus=top.bus,
+    """The implementation model: pin-accurate PCI interface + targets."""
+    return build_platform(
+        workloads, config, bus="pci", synthesize=synthesize, label=label,
+        synthesis_config=synthesis_config,
     )
 
 
@@ -267,84 +504,45 @@ def build_wishbone_platform(
     label: str | None = None,
     synthesis_config: object | None = None,
 ) -> PlatformBundle:
-    """The same system behind the library's Wishbone interface element.
-
-    Identical IPs and address map to the PCI platforms; only the bus and
-    its interface element differ — the "pick a different IP from the
-    library" move.
-    """
-    from ..wishbone.interface import WishboneBusInterface
-    from ..wishbone.monitor import WishboneMonitor
-    from ..wishbone.signals import WishboneBus
-    from ..wishbone.slave import WishboneSlave
-
-    config = config or PciPlatformConfig()
-    sim = Simulator()
-
-    class WishboneTop(Module):
-        def __init__(self, parent: Simulator, name: str) -> None:
-            super().__init__(parent, name)
-            self.clock = Clock(self, "clock", period=config.clock_period)
-            self.bus = WishboneBus(self, "bus")
-            self.memory = Memory(config.mem_size)
-            self.peripheral = StatusRegisterBlock()
-            self.mem_slave = WishboneSlave(
-                self, "mem_slave", self.bus, self.clock.clk, self.memory,
-                base=0, size=config.mem_size,
-                ack_latency=config.wait_states,
-            )
-            self.reg_slave = WishboneSlave(
-                self, "reg_slave", self.bus, self.clock.clk, self.peripheral,
-                base=config.peripheral_base, size=0x10,
-            )
-            self.monitor = WishboneMonitor(
-                self, "monitor", self.bus, self.clock.clk,
-                strict=config.monitor_strict,
-            )
-            self.interface = WishboneBusInterface(
-                self,
-                "interface",
-                self.bus,
-                self.clock.clk,
-                arbiter=config.arbiter,
-                response_capacity=config.response_capacity,
-            )
-            self.apps = [
-                Application(self, f"app{i}", commands, self.interface,
-                            think_time=config.app_think_time)
-                for i, commands in enumerate(workloads)
-            ]
-
-    top = WishboneTop(sim, "top")
-    synthesis = None
-    if synthesize:
-        from ..synthesis.tool import SynthesisConfig, synthesize_communication
-
-        if synthesis_config is None:
-            synthesis_config = SynthesisConfig(backend=config.backend)
-        synthesis = synthesize_communication(
-            sim, top.clock.clk, synthesis_config  # type: ignore[arg-type]
-        )
-    if label is None:
-        label = "wishbone_post_synthesis" if synthesize else "wishbone"
-    interface = top.interface
-    _maybe_apply_resilience(top.interface, config)
-    handle = PlatformHandle(
-        sim, top.apps, label,
-        quiesce=lambda: (
-            interface.channel_state.commands_put == interface.commands_serviced
-        ),
-        quiesce_poll=config.clock_period,
+    """The same system behind the library's Wishbone interface element."""
+    return build_platform(
+        workloads, config, bus="wishbone", synthesize=synthesize, label=label,
+        synthesis_config=synthesis_config,
     )
-    return PlatformBundle(
-        handle, top, top.memory, top.peripheral, top.interface,
-        monitor=top.monitor, clock=top.clock, synthesis=synthesis,
+
+
+def build_axi4lite_platform(
+    workloads: typing.Sequence[typing.Sequence[CommandType]],
+    config: PciPlatformConfig | None = None,
+    synthesize: bool = False,
+    label: str | None = None,
+    synthesis_config: object | None = None,
+) -> PlatformBundle:
+    """The same system behind the library's AXI4-Lite interface element."""
+    return build_platform(
+        workloads, config, bus="axi4lite", synthesize=synthesize, label=label,
+        synthesis_config=synthesis_config,
+    )
+
+
+def build_tlmgp_platform(
+    workloads: typing.Sequence[typing.Sequence[CommandType]],
+    config: PciPlatformConfig | None = None,
+    synthesize: bool = False,
+    label: str | None = None,
+    synthesis_config: object | None = None,
+) -> PlatformBundle:
+    """The same system behind the generic-payload interface element."""
+    return build_platform(
+        workloads, config, bus="tlmgp", synthesize=synthesize, label=label,
+        synthesis_config=synthesis_config,
     )
 
 
 def standard_flow_builders(
     workloads: typing.Sequence[typing.Sequence[CommandType]],
     config: PciPlatformConfig | None = None,
+    bus: str = "pci",
 ):
     """(functional_builder, implementation_builder) for :class:`DesignFlow`."""
     if not workloads:
@@ -359,8 +557,8 @@ def standard_flow_builders(
             from ..synthesis.tool import SynthesisConfig
 
             synthesis_config = SynthesisConfig(backend=backend)
-        bundle = build_pci_platform(
-            workloads, config, synthesize=synthesize,
+        bundle = build_platform(
+            workloads, config, bus=bus, synthesize=synthesize,
             synthesis_config=synthesis_config,
         )
         return bundle.handle, bundle.synthesis

@@ -23,7 +23,7 @@ from .runner import lint_design, lint_synthesis
 from .sarif import render_json, render_sarif
 
 #: Canonical platform labels, in lint order.
-TARGETS = ("functional", "pci", "pci-synth", "wishbone")
+TARGETS = ("functional", "pci", "pci-synth", "wishbone", "axi4lite", "tlmgp")
 
 
 def _workloads(seed: int, n_commands: int):
@@ -36,27 +36,17 @@ def _workloads(seed: int, n_commands: int):
 def _lint_target(
     target: str, config: LintConfig, seed: int, n_commands: int
 ) -> list[LintReport]:
-    from ..flow import (
-        build_functional_platform,
-        build_pci_platform,
-        build_wishbone_platform,
-    )
+    from ..flow import build_platform
 
     workloads = _workloads(seed, n_commands)
-    if target == "functional":
-        bundle = build_functional_platform(workloads)
-        return [lint_design(bundle.handle.sim, config, label=target)]
-    if target == "pci":
-        bundle = build_pci_platform(workloads)
-        return [lint_design(bundle.handle.sim, config, label=target)]
     if target == "pci-synth":
-        bundle = build_pci_platform(workloads, synthesize=True)
+        bundle = build_platform(workloads, bus="pci", synthesize=True)
         return [
             lint_design(bundle.handle.sim, config, label=target),
             lint_synthesis(bundle.synthesis, config, label=f"{target} netlists"),
         ]
-    if target == "wishbone":
-        bundle = build_wishbone_platform(workloads)
+    if target in ("functional", "pci", "wishbone", "axi4lite", "tlmgp"):
+        bundle = build_platform(workloads, bus=target)
         return [lint_design(bundle.handle.sim, config, label=target)]
     raise ValueError(f"unknown lint target {target!r}")
 

@@ -164,6 +164,70 @@ class CombinationalLoopRule(LintRule):
             )
 
 
+@register
+class InterfaceElementShapeRule(LintRule):
+    """A library interface element drifted from the base contract."""
+
+    rule_id = "MOD005"
+    name = "interface-element-shape"
+    target = DESIGN
+    default_severity = Severity.ERROR
+    description = (
+        "an InterfaceElement must carry library tags, own exactly one "
+        "channel global object, and run at least one protocol process"
+    )
+
+    def check(self, design: DesignContext) -> typing.Iterator[Diagnostic]:
+        from ..iface.element import InterfaceElement
+        from ..osss.global_object import GlobalObject
+
+        for module in design.modules:
+            if not isinstance(module, InterfaceElement):
+                continue
+            if module.BUS_NAME == "abstract" or module.ABSTRACTION == "abstract":
+                yield self.emit(
+                    module.path,
+                    "element keeps the abstract BUS_NAME/ABSTRACTION tags",
+                    "set the BUS_NAME and ABSTRACTION class attributes so "
+                    "the interface library can index the element",
+                )
+            channels = [
+                value for __, value in sorted(vars(module).items())
+                if isinstance(value, GlobalObject)
+            ]
+            named = [c for c in channels if c.name == "channel"]
+            if len(named) != 1:
+                yield self.emit(
+                    module.path,
+                    f"element owns {len(named)} global objects named "
+                    f"'channel' (expected exactly 1)",
+                    "keep the application-facing channel the base class "
+                    "creates; add protocol state as plain attributes, not "
+                    "extra channels",
+                )
+            extras = [c for c in channels if c.name != "channel"]
+            if extras:
+                paths = ", ".join(c.path for c in extras)
+                yield self.emit(
+                    module.path,
+                    f"element owns extra global objects: {paths}",
+                    "an interface element exposes exactly one channel "
+                    "towards the application; move other shared objects "
+                    "out of the element",
+                )
+            owned = [
+                info for info in design.processes
+                if info.instance is module
+            ]
+            if not owned:
+                yield self.emit(
+                    module.path,
+                    "element registers no process of its own",
+                    "spawn the protocol dispatcher (self.thread(...)) in "
+                    "the element's __init__",
+                )
+
+
 def _find_cycles(edges: dict[int, set[int]]) -> list[tuple[int, ...]]:
     """Strongly connected components with >1 node, plus self-loops."""
     index_counter = [0]

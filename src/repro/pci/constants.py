@@ -51,10 +51,31 @@ MEMORY_COMMANDS = frozenset(
      CMD_MEM_WRITE_INVALIDATE}
 )
 
-#: Bus width of the multiplexed address/data lines.
+def cbe_width_for(data_width: int) -> int:
+    """C/BE# lines for a given AD width (one enable per byte lane)."""
+    if data_width < 8 or data_width % 8:
+        raise ValueError(
+            f"AD width must be a positive multiple of 8, got {data_width}"
+        )
+    return data_width // 8
+
+
+def byte_enable_mask(data_width: int) -> int:
+    """All byte enables active for a given AD width (0xF at 32 bits)."""
+    return (1 << cbe_width_for(data_width)) - 1
+
+
+def data_mask(data_width: int) -> int:
+    """All AD lines high for a given AD width (0xFFFFFFFF at 32 bits)."""
+    return (1 << data_width) - 1
+
+
+#: Bus width of the multiplexed address/data lines (the default
+#: elaboration; parameterized buses derive their own masks through the
+#: functions above instead of these fixed constants).
 AD_WIDTH = 32
-#: Width of the command / byte-enable lines.
-CBE_WIDTH = 4
+#: Width of the command / byte-enable lines, derived from AD_WIDTH.
+CBE_WIDTH = cbe_width_for(AD_WIDTH)
 
 #: Clocks a master waits for DEVSEL# before signalling master-abort
 #: (fast=1, medium=2, slow=3, subtractive=4 in real PCI; we allow 5).

@@ -162,18 +162,18 @@ class PciMaster(Module):
         # Address phase.
         pins.frame_n.write(0)
         pins.irdy_n.write(1)
-        pins.ad.write(LogicVector(32, address))
-        pins.cbe_n.write(LogicVector(4, operation.command))
+        pins.ad.write(LogicVector(bus.ad_width, address))
+        pins.cbe_n.write(LogicVector(bus.cbe_width, operation.command))
         self._drive_ad_flag(True)
         yield self.clk.posedge
         self._parity_duty()
 
         # First data phase.
-        wire_enables = (~operation.byte_enables) & 0xF
-        pins.cbe_n.write(LogicVector(4, wire_enables))
+        wire_enables = (~operation.byte_enables) & bus.byte_enable_mask
+        pins.cbe_n.write(LogicVector(bus.cbe_width, wire_enables))
         pins.irdy_n.write(0)
         if operation.is_write:
-            pins.ad.write(LogicVector(32, operation.data[words_done]))
+            pins.ad.write(LogicVector(bus.ad_width, operation.data[words_done]))
             self._drive_ad_flag(True)
         else:
             pins.ad.release()
@@ -216,7 +216,8 @@ class PciMaster(Module):
                         cbe = bus.cbe_n.read()
                         if cbe.is_fully_defined:
                             self._parity_pending = (
-                                parity_of(data.to_int(), cbe.to_int()),
+                                parity_of(data.to_int(), cbe.to_int(),
+                                          self.bus.ad_width),
                                 operation,
                             )
                 transferred += 1
@@ -240,7 +241,7 @@ class PciMaster(Module):
                     return "done", words_done
                 # Set up the next data phase.
                 if operation.is_write:
-                    pins.ad.write(LogicVector(32, operation.data[words_done]))
+                    pins.ad.write(LogicVector(bus.ad_width, operation.data[words_done]))
                     self._drive_ad_flag(True)
                 if remaining - transferred == 1:
                     pins.frame_n.write(1)
@@ -289,6 +290,8 @@ class PciMaster(Module):
             ad = self.bus.ad.read()
             cbe = self.bus.cbe_n.read()
             if ad.is_fully_defined and cbe.is_fully_defined:
-                self.pins.par.write(parity_of(ad.to_int(), cbe.to_int()))
+                self.pins.par.write(
+                    parity_of(ad.to_int(), cbe.to_int(), self.bus.ad_width)
+                )
                 return
         self.pins.par.release()

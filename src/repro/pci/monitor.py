@@ -159,7 +159,9 @@ class PciMonitor(Module):
                     else:
                         transaction.data.append(ad.to_int())
                 if cbe.is_fully_defined:
-                    transaction.byte_enables.append((~cbe.to_int()) & 0xF)
+                    transaction.byte_enables.append(
+                        (~cbe.to_int()) & self.bus.byte_enable_mask
+                    )
                 else:
                     self._violation(f"data transfer with undefined C/BE# ({cbe})")
                 if stop:

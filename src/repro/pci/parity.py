@@ -1,18 +1,23 @@
 """PCI parity generation and checking.
 
-PAR carries even parity over the 32 AD lines and the 4 C/BE# lines: the
+PAR carries even parity over the AD lines and the C/BE# lines: the
 number of '1's across AD, C/BE# and PAR together is even. PAR lags the
-lines it protects by one clock, which is handled by the agents, not here.
+lines it protects by one clock, which is handled by the agents, not
+here. The span of lines protected follows the bus elaboration width —
+32-bit AD plus 4 C/BE# lines by default.
 """
 
 from __future__ import annotations
 
 from ..hdl.bitvector import LogicVector
+from .constants import AD_WIDTH, byte_enable_mask, data_mask
 
 
-def parity_of(ad_value: int, cbe_value: int) -> int:
-    """Even-parity bit over AD[31:0] and C/BE#[3:0]."""
-    combined = (ad_value & 0xFFFFFFFF) | ((cbe_value & 0xF) << 32)
+def parity_of(ad_value: int, cbe_value: int, ad_width: int = AD_WIDTH) -> int:
+    """Even-parity bit over AD[ad_width-1:0] and its C/BE# lanes."""
+    combined = (ad_value & data_mask(ad_width)) | (
+        (cbe_value & byte_enable_mask(ad_width)) << ad_width
+    )
     parity = 0
     while combined:
         parity ^= combined & 1
@@ -21,7 +26,11 @@ def parity_of(ad_value: int, cbe_value: int) -> int:
 
 
 def parity_of_vectors(ad: LogicVector, cbe: LogicVector) -> int | None:
-    """Parity over sampled vectors; ``None`` when either has X/Z bits."""
+    """Parity over sampled vectors; ``None`` when either has X/Z bits.
+
+    The protected span is taken from the AD vector itself, so monitors
+    and agents on a non-default-width bus check the right lines.
+    """
     if not ad.is_fully_defined or not cbe.is_fully_defined:
         return None
-    return parity_of(ad.to_int(), cbe.to_int())
+    return parity_of(ad.to_int(), cbe.to_int(), ad.width)

@@ -17,7 +17,7 @@ from ..hdl.module import Module
 from ..hdl.resolved import ResolvedSignal
 from ..hdl.signal import Signal
 from ..kernel.simulator import Simulator
-from .constants import AD_WIDTH, CBE_WIDTH
+from .constants import AD_WIDTH, byte_enable_mask, cbe_width_for, data_mask
 
 
 def is_asserted(value: LogicVector) -> bool:
@@ -34,6 +34,8 @@ class PciBus(Module):
     """All shared wires of one PCI segment, plus per-master REQ#/GNT#.
 
     :param n_masters: how many REQ#/GNT# pairs to create.
+    :param ad_width: elaboration width of the multiplexed AD lines; the
+        C/BE# width and the byte-enable/data masks derive from it.
     """
 
     def __init__(
@@ -41,16 +43,22 @@ class PciBus(Module):
         parent: "Module | Simulator",
         name: str,
         n_masters: int = 1,
+        ad_width: int = AD_WIDTH,
     ) -> None:
         super().__init__(parent, name)
         self.n_masters = n_masters
+        #: Structural widths/masks the agents elaborate against.
+        self.ad_width = ad_width
+        self.cbe_width = cbe_width_for(ad_width)
+        self.byte_enable_mask = byte_enable_mask(ad_width)
+        self.data_mask = data_mask(ad_width)
         self.frame_n = self.resolved_signal("frame_n", 1)
         self.irdy_n = self.resolved_signal("irdy_n", 1)
         self.trdy_n = self.resolved_signal("trdy_n", 1)
         self.devsel_n = self.resolved_signal("devsel_n", 1)
         self.stop_n = self.resolved_signal("stop_n", 1)
-        self.ad = self.resolved_signal("ad", AD_WIDTH)
-        self.cbe_n = self.resolved_signal("cbe_n", CBE_WIDTH)
+        self.ad = self.resolved_signal("ad", ad_width)
+        self.cbe_n = self.resolved_signal("cbe_n", self.cbe_width)
         self.par = self.resolved_signal("par", 1)
         self.req_n: list[Signal] = [
             self.signal(f"req_n_{i}", width=1, init=1) for i in range(n_masters)

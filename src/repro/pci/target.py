@@ -215,7 +215,7 @@ class PciTarget(Module):
             )
             if is_read:
                 value = read_fn(current_address)
-                pins.ad.write(LogicVector(32, value))
+                pins.ad.write(LogicVector(bus.ad_width, value))
                 self._drove_ad = True
             pins.trdy_n.write(0)
             if stopping:
@@ -235,7 +235,7 @@ class PciTarget(Module):
                         f"{self.path}: write data phase with undefined AD/CBE "
                         f"at {self.sim.time_str()}"
                     )
-                enables = (~cbe.to_int()) & 0xF
+                enables = (~cbe.to_int()) & bus.byte_enable_mask
                 write_fn(current_address, data.to_int(), enables)
             self.words_served += 1
             words_done += 1
@@ -286,6 +286,8 @@ class PciTarget(Module):
             ad = self.bus.ad.read()
             cbe = self.bus.cbe_n.read()
             if ad.is_fully_defined and cbe.is_fully_defined:
-                self.pins.par.write(parity_of(ad.to_int(), cbe.to_int()))
+                self.pins.par.write(
+                    parity_of(ad.to_int(), cbe.to_int(), self.bus.ad_width)
+                )
                 return
         self.pins.par.release()

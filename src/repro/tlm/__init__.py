@@ -12,16 +12,54 @@ from .memory import Memory, RomMemory
 from .peripheral import DmaPeripheral, StatusRegisterBlock
 from .router import AddressRange, AddressRouter
 
+#: Generic-payload names resolved lazily: generic_payload pulls in the
+#: interface-element stack (repro.core), which itself imports
+#: tlm.interfaces — an eager import here would close that cycle while
+#: this package is still initialising.
+_GENERIC_PAYLOAD_NAMES = (
+    "GP_ADDRESS_ERROR",
+    "GP_GENERIC_ERROR",
+    "GP_INCOMPLETE",
+    "GP_OK",
+    "GP_READ",
+    "GP_STATUSES",
+    "GP_WRITE",
+    "GenericPayload",
+    "GpTargetSocket",
+    "TlmGpBusInterface",
+    "TlmGpFunctionalInterface",
+)
+
+
+def __getattr__(name: str):
+    if name in _GENERIC_PAYLOAD_NAMES:
+        from . import generic_payload
+
+        return getattr(generic_payload, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ALL_BYTES",
     "AddressRange",
     "AddressRouter",
     "DmaPeripheral",
+    "GP_ADDRESS_ERROR",
+    "GP_GENERIC_ERROR",
+    "GP_INCOMPLETE",
+    "GP_OK",
+    "GP_READ",
+    "GP_STATUSES",
+    "GP_WRITE",
+    "GenericPayload",
+    "GpTargetSocket",
     "Memory",
     "ReqRspChannel",
     "RomMemory",
     "StatusRegisterBlock",
     "TlmFifo",
+    "TlmGpBusInterface",
+    "TlmGpFunctionalInterface",
     "TlmTarget",
     "apply_byte_enables",
     "check_word_address",

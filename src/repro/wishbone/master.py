@@ -21,6 +21,8 @@ class WishboneOperation:
     :param data: words to write (writes only).
     :param count: words to read (reads only).
     :param sel: active-high byte-select mask applied to each phase.
+    :param sel_bits: SEL lanes of the bus this operation targets (the
+        validation bound; 4 for the default 32-bit data path).
     """
 
     def __init__(
@@ -29,12 +31,18 @@ class WishboneOperation:
         address: int,
         data=None,
         count: int = 1,
-        sel: int = 0xF,
+        sel: int | None = None,
+        sel_bits: int = 4,
     ) -> None:
         if address % 4 or not 0 <= address < 2**32:
             raise ProtocolError(f"bad wishbone address {address:#x}")
-        if not 0 <= sel <= 0xF:
+        if sel_bits < 1:
+            raise ProtocolError(f"sel_bits must be >= 1, got {sel_bits}")
+        if sel is None:
+            sel = (1 << sel_bits) - 1
+        if not 0 <= sel < (1 << sel_bits):
             raise ProtocolError(f"bad sel mask {sel:#x}")
+        self.sel_bits = sel_bits
         self.is_write = is_write
         self.address = address
         self.sel = sel
@@ -60,13 +68,15 @@ class WishboneOperation:
         self.txn_id: int | None = None
 
     @classmethod
-    def read(cls, address: int, count: int = 1, sel: int = 0xF):
-        return cls(False, address, count=count, sel=sel)
+    def read(cls, address: int, count: int = 1, sel: int | None = None,
+             sel_bits: int = 4):
+        return cls(False, address, count=count, sel=sel, sel_bits=sel_bits)
 
     @classmethod
-    def write(cls, address: int, data, sel: int = 0xF):
+    def write(cls, address: int, data, sel: int | None = None,
+              sel_bits: int = 4):
         words = [data] if isinstance(data, int) else list(data)
-        return cls(True, address, data=words, sel=sel)
+        return cls(True, address, data=words, sel=sel, sel_bits=sel_bits)
 
     def __repr__(self) -> str:
         kind = "write" if self.is_write else "read"
@@ -138,11 +148,14 @@ class WishboneMaster(Module):
                 address = operation.address + 4 * index
                 bus.cyc.write(1)
                 bus.stb.write(1)
-                bus.adr.write(LogicVector(32, address))
-                bus.sel.write(LogicVector(4, operation.sel))
+                bus.adr.write(LogicVector(bus.addr_width,
+                                           address & bus.addr_mask))
+                bus.sel.write(LogicVector(bus.sel_width, operation.sel))
                 if operation.is_write:
                     bus.we.write(1)
-                    bus.dat_w.write(LogicVector(32, operation.data[index]))
+                    bus.dat_w.write(
+                        LogicVector(bus.data_width, operation.data[index])
+                    )
                 else:
                     bus.we.write(0)
                 waited = 0

@@ -90,7 +90,7 @@ class WishboneMonitor(Module):
                 self._violation("termination with undefined ADR")
                 continue
             is_write = bus.we.read().to_int_default(0) == 1
-            sel = bus.sel.read().to_int_default(0xF)
+            sel = bus.sel.read().to_int_default(bus.sel_mask)
             data: int | None = None
             if ack:
                 source = bus.dat_w if is_write else bus.dat_r

@@ -82,7 +82,7 @@ class WishboneSlave(Module):
             we = bus.we.read().to_int_default(0)
             try:
                 if we:
-                    sel = bus.sel.read().to_int_default(0xF)
+                    sel = bus.sel.read().to_int_default(bus.sel_mask)
                     data = bus.dat_w.read()
                     if not data.is_fully_defined:
                         raise ProtocolError(
@@ -92,7 +92,7 @@ class WishboneSlave(Module):
                     self._dat_r.release()
                 else:
                     value = self.store.read_word(local)
-                    self._dat_r.write(LogicVector(32, value))
+                    self._dat_r.write(LogicVector(bus.data_width, value))
                 self._ack.write(1)
                 self._err.write(0)
                 self.requests_served += 1

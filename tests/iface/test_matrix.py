@@ -1,0 +1,101 @@
+"""The swap matrix: bus x abstraction sweep against the reference."""
+
+import pytest
+
+from repro.iface import MatrixCell, SwapMatrixReport, run_swap_matrix
+
+
+class TestMatrixCell:
+    def test_verdicts(self):
+        cell = MatrixCell("pci", "synthesized", "pci_synthesized")
+        cell.consistent = True
+        cell.transactions = 7
+        cell.signature_matches = 7
+        assert cell.verdict == "CONSISTENT"
+        assert cell.cell_text() == "CONSISTENT(7/7)"
+        cell.error = "boom"
+        assert cell.verdict == "ERROR"
+        assert cell.cell_text() == "ERROR"
+
+    def test_to_dict_roundtrip(self):
+        cell = MatrixCell("tlmgp", "compiled", "tlmgp_compiled")
+        cell.consistent = False
+        cell.mismatches = ["memory image differs in 1 words"]
+        record = cell.to_dict()
+        assert record["verdict"] == "MISMATCH"
+        assert record["mismatches"] == cell.mismatches
+
+
+class TestReportShape:
+    def test_empty_report_renders(self):
+        report = SwapMatrixReport(1, 5, ("pci",), ("functional",))
+        text = report.render()
+        assert "swap matrix" in text
+        assert "0 cells" in text
+
+    def test_all_consistent_requires_every_cell(self):
+        report = SwapMatrixReport(1, 5, ("pci",), ("functional",))
+        good = MatrixCell("pci", "functional", "x")
+        good.consistent = True
+        report.cells.append(good)
+        assert report.all_consistent
+        bad = MatrixCell("pci", "synthesized", "y")
+        bad.consistent = False
+        report.cells.append(bad)
+        assert not report.all_consistent
+        assert "MISMATCH" in report.render()
+
+
+class TestSweep:
+    def test_two_bus_sweep_is_consistent(self):
+        report = run_swap_matrix(
+            seed=55, n_commands=6, buses=("wishbone", "tlmgp")
+        )
+        assert len(report.cells) == 6
+        assert report.all_consistent
+        for cell in report.cells:
+            assert cell.error is None
+            assert cell.transactions == 6
+            assert cell.signature_matches == 6
+        rendered = report.render()
+        assert "ALL CONSISTENT" in rendered
+        assert "CONSISTENT(6/6)" in rendered
+
+    def test_cell_lookup(self):
+        report = run_swap_matrix(
+            seed=55, n_commands=4, buses=("axi4lite",),
+            levels=("functional", "synthesized"),
+        )
+        cell = report.cell("axi4lite", "synthesized")
+        assert cell is not None and cell.consistent
+        assert report.cell("axi4lite", "compiled") is None
+
+    def test_broken_bus_reports_error_cell(self):
+        report = run_swap_matrix(
+            seed=55, n_commands=4, buses=("vme",), levels=("functional",)
+        )
+        (cell,) = report.cells
+        assert cell.verdict == "ERROR"
+        assert "RefinementError" in cell.error
+        assert not report.all_consistent
+
+    def test_fault_leg_counts(self):
+        report = run_swap_matrix(
+            seed=55, n_commands=4, buses=("wishbone",),
+            levels=("functional",), fault_runs=4,
+        )
+        assert "wishbone" in report.fault_counts
+        counts = report.fault_counts["wishbone"]
+        assert sum(counts.values()) >= 4
+        assert "fault leg" in report.render()
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    def test_seed_55_full_matrix(self):
+        """The acceptance sweep: 12 cells, per-transaction CONSISTENT."""
+        report = run_swap_matrix(seed=55, n_commands=25)
+        assert len(report.cells) == 12
+        assert report.all_consistent
+        for cell in report.cells:
+            assert cell.signature_matches == cell.transactions == 25

@@ -58,6 +58,58 @@ class TestCli:
             main(["no-such-command"])
 
 
+class TestBusSwapCli:
+    """The global --bus knob: the same commands, another element."""
+
+    @pytest.mark.parametrize("bus", ["wishbone", "axi4lite", "tlmgp"])
+    def test_refine_on_every_family(self, bus, capsys):
+        assert main(["--commands", "5", "--bus", bus, "refine"]) == 0
+        out = capsys.readouterr().out
+        assert "trace-consistent: True" in out
+
+    def test_flow_with_bus(self, capsys):
+        assert main(["--commands", "5", "--bus", "axi4lite", "flow"]) == 0
+        out = capsys.readouterr().out
+        assert "axi4lite-device-under-design" in out or "ok" in out
+        assert "FAIL" not in out
+
+    def test_report_with_bus(self, capsys):
+        assert main(["--commands", "4", "--bus", "wishbone",
+                     "report"]) == 0
+        out = capsys.readouterr().out
+        assert "communication synthesis report" in out
+
+    def test_functional_bus_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--bus", "functional", "flow"])
+
+    def test_waveforms_guard_non_pci(self, capsys):
+        assert main(["--bus", "wishbone", "waveforms"]) == 2
+        out = capsys.readouterr().out
+        assert "PCI-specific" in out
+
+    def test_response_capacity_plumbs_through(self, capsys):
+        assert main(["--commands", "5", "--response-capacity", "2",
+                     "refine"]) == 0
+        out = capsys.readouterr().out
+        assert "trace-consistent: True" in out
+
+
+class TestMatrixCli:
+    def test_single_bus_matrix(self, capsys):
+        assert main(["--commands", "4", "--bus", "tlmgp", "matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "swap matrix: seed 55" in out
+        assert "ALL CONSISTENT" in out
+        assert "3 cells" in out
+
+    def test_matrix_honours_seed(self, capsys):
+        assert main(["--seed", "7", "--commands", "4", "--bus",
+                     "wishbone", "matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "swap matrix: seed 7" in out
+
+
 class TestSeedPlumbing:
     def _output(self, argv, capsys):
         import re

@@ -130,3 +130,75 @@ class TestCombinationalLoop:
 
         Pipeline(sim, "top")
         assert lint_design(sim).clean
+
+
+class TestInterfaceElementShape:
+    def _sim_with(self, element_cls):
+        from repro.kernel.simulator import Simulator
+
+        sim = Simulator()
+        element_cls(sim, "iface")
+        return sim
+
+    def test_fires_mod005_on_abstract_tags(self):
+        from repro.iface import InterfaceElement
+
+        class Tagless(InterfaceElement):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.thread(self._idle, "idle")
+
+            def _idle(self):
+                yield from self.channel.call("get_command")
+
+        report = lint_design(self._sim_with(Tagless))
+        (diag,) = report.by_rule("MOD005")
+        assert diag.severity is Severity.ERROR
+        assert "abstract" in diag.message
+
+    def test_fires_mod005_on_missing_process(self):
+        from repro.iface import InterfaceElement
+
+        class Inert(InterfaceElement):
+            BUS_NAME = "inert"
+            ABSTRACTION = "pin_accurate"
+
+        report = lint_design(self._sim_with(Inert))
+        messages = [d.message for d in report.by_rule("MOD005")]
+        assert any("no process" in m for m in messages)
+
+    def test_fires_mod005_on_extra_channel(self):
+        from repro.iface import InterfaceElement
+        from repro.osss import GlobalObject
+
+        class Chatty(InterfaceElement):
+            BUS_NAME = "chatty"
+            ABSTRACTION = "pin_accurate"
+
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.side = GlobalObject(self, "side", _SideState)
+                self.thread(self._idle, "idle")
+
+            def _idle(self):
+                yield from self.channel.call("get_command")
+
+        report = lint_design(self._sim_with(Chatty))
+        messages = [d.message for d in report.by_rule("MOD005")]
+        assert any("extra global objects" in m for m in messages)
+
+    def test_library_elements_are_clean(self):
+        """The re-seated library IPs pass with zero suppressions."""
+        from repro.core import generate_workload
+        from repro.flow import build_platform
+
+        workload = generate_workload(seed=3, n_commands=4,
+                                     address_span=0x100)
+        for bus in ("pci", "wishbone", "axi4lite", "tlmgp"):
+            bundle = build_platform([workload], bus=bus)
+            assert lint_design(bundle.handle.sim).clean, bus
+
+
+class _SideState:
+    def ping(self):
+        return 1
