@@ -1,0 +1,119 @@
+"""Record the swap matrix's per-bus communication metrics over time.
+
+Runs the telemetry-enabled seed-55 swap matrix (the paper's EXP-SWAP
+configuration) and distills every bus family's synthesized-level
+scorecard — utilization, throughput in beats per cycle, latency
+p50/p95/p99 and campaign wall time — into one history entry.
+``--record`` appends it to ``BENCH_matrix.json`` at the repo root so
+the communication-performance trajectory of the four interface-element
+families is tracked release over release, exactly like
+``BENCH_compile.json`` tracks the compiled backend.
+
+Usage::
+
+    python benchmarks/bench_matrix_history.py             # print metrics
+    python benchmarks/bench_matrix_history.py --record    # append BENCH
+    python benchmarks/bench_matrix_history.py --commands 8 --buses pci tlmgp
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.iface.matrix import DEFAULT_BUSES, run_swap_matrix  # noqa: E402
+
+BENCH_PATH = os.path.join(_ROOT, "BENCH_matrix.json")
+SEED = 55
+N_COMMANDS = 25
+_FS_PER_NS = 1_000_000
+
+
+def measure(n_commands: int, buses) -> dict:
+    started = time.perf_counter()
+    report = run_swap_matrix(
+        seed=SEED, n_commands=n_commands, buses=tuple(buses),
+        telemetry=True,
+    )
+    wall = time.perf_counter() - started
+    card = report.scorecard()
+    per_bus = {}
+    for bus in buses:
+        score = card.cell(bus, "synthesized") if card else None
+        if score is None:
+            continue
+        per_bus[bus] = {
+            "transactions": score.transactions,
+            "utilization": round(score.utilization, 4),
+            "throughput_beats_per_cycle": round(score.throughput, 4),
+            "latency_p50_ns": score.latency.p50 // _FS_PER_NS,
+            "latency_p95_ns": score.latency.p95 // _FS_PER_NS,
+            "latency_p99_ns": score.latency.p99 // _FS_PER_NS,
+            "fairness": (
+                None if score.fairness is None
+                else round(score.fairness, 4)
+            ),
+        }
+    return {
+        "seed": SEED,
+        "n_commands": n_commands,
+        "all_consistent": report.all_consistent,
+        "wall_seconds": round(wall, 3),
+        "per_bus": per_bus,
+        "scorecard": None if card is None else card.render(),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--commands", type=int, default=N_COMMANDS,
+                        help=f"workload length (default {N_COMMANDS})")
+    parser.add_argument("--buses", nargs="+", default=list(DEFAULT_BUSES),
+                        help="bus families to sweep "
+                             f"(default {' '.join(DEFAULT_BUSES)})")
+    parser.add_argument("--record", action="store_true",
+                        help=f"append this run to {BENCH_PATH}")
+    args = parser.parse_args(argv)
+
+    result = measure(args.commands, args.buses)
+    print(result.pop("scorecard") or "(no scored cells)")
+    print()
+    for bus, metrics in result["per_bus"].items():
+        print(f"{bus:10s} util {metrics['utilization']:6.1%}  "
+              f"{metrics['throughput_beats_per_cycle']:.3f} beats/cyc  "
+              f"p50/p95/p99 {metrics['latency_p50_ns']}/"
+              f"{metrics['latency_p95_ns']}/"
+              f"{metrics['latency_p99_ns']} ns")
+    print(f"\nmatrix wall: {result['wall_seconds']:.2f}s  "
+          f"consistent: {result['all_consistent']}")
+
+    if not result["all_consistent"]:
+        print("FAIL: matrix has inconsistent cells; not recording",
+              file=sys.stderr)
+        return 1
+
+    if args.record:
+        history = []
+        if os.path.exists(BENCH_PATH):
+            with open(BENCH_PATH) as handle:
+                history = json.load(handle)
+        history.append({
+            "date": time.strftime("%Y-%m-%d"),
+            **result,
+        })
+        with open(BENCH_PATH, "w") as handle:
+            json.dump(history, handle, indent=2)
+            handle.write("\n")
+        print(f"recorded to {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,13 @@ Commands:
   print ASCII waveforms (Figure 4).
 * ``library``     — list the interface library contents.
 * ``report``      — synthesize the example design and print the netlist
-  report (add ``--verilog`` / ``--vhdl`` to print the generated HDL).
+  report (add ``--verilog`` / ``--vhdl`` to print the generated HDL);
+  ``report --matrix`` instead runs the telemetry-enabled swap matrix
+  and prints the bus x level communication scorecard
+  (``--format table|json|markdown``).
+* ``telemetry``   — replay flight-recorder JSONL dumps into the
+  timeline/JSON/Chrome renderers (``--tail``, ``--json``,
+  ``--chrome``).
 * ``lint``        — static design-rule checks over the example platforms
   (``--strict``, ``--suppress RULE[@GLOB]``, ``--list-rules``).
 * ``fault``       — run a fault-injection campaign and print detection
@@ -212,6 +218,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.matrix:
+        return _cmd_report_matrix(args)
     bundle = build_platform(
         _default_workloads(_effective_seed(args), args.commands),
         _platform_config(args),
@@ -227,6 +235,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print()
         print(synthesis.all_vhdl())
     return 0
+
+
+def _cmd_report_matrix(args: argparse.Namespace) -> int:
+    """``report --matrix``: the communication scorecard — the paper's
+    exploitation loop made quantitative (utilization, throughput,
+    latency quantiles per bus family x refinement level)."""
+    import json
+
+    from .iface.matrix import DEFAULT_BUSES, run_swap_matrix
+
+    buses = DEFAULT_BUSES if args.bus is None else (_effective_bus(args),)
+    matrix = run_swap_matrix(
+        seed=args.seed if args.seed is not None else 55,
+        n_commands=args.commands,
+        buses=buses,
+        config=_platform_config(args),
+        telemetry=True,
+    )
+    card = matrix.scorecard()
+    if card is None:  # every cell errored before scoring
+        print(matrix.render())
+        return 1
+    if args.format == "json":
+        print(json.dumps(card.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(card.render_markdown())
+    else:
+        print(card.render())
+        problems = [
+            cell for cell in matrix.cells
+            if cell.error is not None or not cell.consistent
+        ]
+        for cell in problems:
+            print(f"\n-- {cell.bus}/{cell.level}: {cell.verdict} --")
+            if cell.error is not None:
+                print(f"  error: {cell.error}")
+    return 0 if matrix.all_consistent else 1
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry import cli as telemetry_cli
+
+    return telemetry_cli.run(args)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -268,6 +319,14 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="also print generated Verilog")
     report.add_argument("--vhdl", action="store_true",
                         help="also print generated VHDL")
+    report.add_argument("--matrix", action="store_true",
+                        help="run the telemetry-enabled swap matrix and "
+                             "print the bus x level communication "
+                             "scorecard instead")
+    report.add_argument("--format", choices=("table", "json", "markdown"),
+                        default="table",
+                        help="scorecard output format for --matrix "
+                             "(default table)")
     fault = sub.add_parser("fault", help="run a fault-injection campaign")
     from .fault import cli as fault_cli
 
@@ -296,6 +355,12 @@ def main(argv: "list[str] | None" = None) -> int:
     from .compile import cli as compile_cli
 
     compile_cli.add_arguments(compile_parser)
+    telemetry = sub.add_parser(
+        "telemetry", help="replay flight-recorder JSONL dumps"
+    )
+    from .telemetry import cli as telemetry_cli
+
+    telemetry_cli.add_arguments(telemetry)
     args = parser.parse_args(argv)
     handlers = {
         "flow": _cmd_flow,
@@ -310,6 +375,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "spans": _cmd_spans,
         "analyze": _cmd_analyze,
         "compile": _cmd_compile,
+        "telemetry": _cmd_telemetry,
     }
     return handlers[args.command](args)
 

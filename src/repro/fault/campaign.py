@@ -105,6 +105,7 @@ class RunOutcome:
         span_mean_latency: int = 0,
         recovery_events: int = 0,
         recovery_latency: int = 0,
+        score: "dict | None" = None,
     ) -> None:
         self.run_id = run_id
         self.kind = kind
@@ -124,6 +125,10 @@ class RunOutcome:
         #: fs between first failure sign and successful recovery.
         self.recovery_events = recovery_events
         self.recovery_latency = recovery_latency
+        #: Per-run communication gauges as a picklable
+        #: :meth:`~repro.telemetry.scorecard.CellScore.to_dict`
+        #: document (``spec.telemetry`` campaigns only).
+        self.score = score
 
     def __repr__(self) -> str:
         return (
@@ -147,6 +152,7 @@ class RunOutcome:
             "span_mean_latency": self.span_mean_latency,
             "recovery_events": self.recovery_events,
             "recovery_latency": self.recovery_latency,
+            "telemetry": self.score,
         }
 
 
@@ -246,6 +252,30 @@ def execute_run(
         from ..resilience import RecoveryLog
 
         recovery_log = RecoveryLog().attach(sim.probes)
+    # Communication telemetry rides the same per-run bus the classifier
+    # does, so worker processes score runs exactly like the serial path.
+    score_probe = None
+    if getattr(spec, "telemetry", False):
+        from ..telemetry.scorecard import ScorecardProbe
+
+        cycle_fs = (
+            bundle.clock.period if bundle.clock is not None else 0
+        )
+        score_probe = ScorecardProbe(cycle_fs).attach(sim.probes)
+    recorder = None
+    if getattr(spec, "flight_record_dir", None):
+        from ..telemetry.recorder import FlightRecorder
+
+        recorder = FlightRecorder(
+            spec.flight_record_capacity
+        ).attach(sim.probes)
+        recorder.record(
+            "run.start",
+            run_id=run.run_id,
+            fault=run.kind,
+            target=run.target_path,
+            window=list(run.window) if run.window else None,
+        )
     # Wall budget is always enforced; communication-stall supervision
     # only arms with resilience on, so baseline campaigns classify
     # exactly as they did under the old whole-run alarm.
@@ -335,6 +365,25 @@ def execute_run(
         latencies = recovery_log.recovery_latencies()
         if latencies:
             recovery_latency = int(sum(latencies) / len(latencies))
+    score = None
+    if score_probe is not None:
+        level = (
+            spec.backend if spec.synthesize else "functional"
+        )
+        if spec.synthesize and spec.backend == "interpreted":
+            level = "synthesized"
+        score = score_probe.score(
+            spec.platform, level, run.label
+        ).to_dict()
+    if recorder is not None:
+        recorder.record(
+            "run.end",
+            run_id=run.run_id,
+            classification=classification,
+            detail=detail,
+        )
+        recorder.detach()
+        _dump_flight_record(spec, run, recorder, classification, detail)
     return RunOutcome(
         run.run_id,
         run.kind,
@@ -350,7 +399,43 @@ def execute_run(
         span_mean_latency=span_mean_latency,
         recovery_events=recovery_events,
         recovery_latency=recovery_latency,
+        score=score,
     )
+
+
+def flight_record_path(directory: str, run_id: int) -> str:
+    """The JSONL path one run's flight record dumps to."""
+    import os
+
+    return os.path.join(directory, f"run{run_id:03d}.jsonl")
+
+
+def _dump_flight_record(
+    spec: CampaignSpec,
+    run: RunSpec,
+    recorder,
+    classification: str,
+    detail: str,
+) -> None:
+    """Serialize one run's ring; best-effort (telemetry never fails a
+    run over a full disk)."""
+    import os
+
+    try:
+        os.makedirs(spec.flight_record_dir, exist_ok=True)
+        recorder.dump(
+            flight_record_path(spec.flight_record_dir, run.run_id),
+            header={
+                "run_id": run.run_id,
+                "label": run.label,
+                "campaign": spec.name,
+                "platform": spec.platform,
+                "classification": classification,
+                "detail": detail,
+            },
+        )
+    except OSError:
+        pass
 
 
 def classify_counts(outcomes: typing.Iterable[RunOutcome]) -> dict:

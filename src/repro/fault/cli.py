@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import sys
 
 from .report import render_report, report_as_json
 from .runner import default_workers, run_campaign
@@ -61,6 +62,51 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="execution backend for synthesized channels (compiled "
              "implies --synthesize; default interpreted)",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="attach a communication scorecard probe to every run and "
+             "report campaign-level utilization/throughput/latency "
+             "digests (identical for serial and parallel execution)",
+    )
+    parser.add_argument(
+        "--flight-record", metavar="DIR", default=None,
+        help="dump every run's flight-recorder ring as "
+             "DIR/run<NNN>.jsonl (replay with 'python -m repro "
+             "telemetry')",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="render a live progress ticker (runs/s, ETA, "
+             "classification breakdown, worker heartbeats) on stderr",
+    )
+    parser.add_argument(
+        "--progress-json", metavar="PATH", default=None,
+        help="mirror live campaign progress to PATH as JSON "
+             "(rewritten on every tick; final state on completion)",
+    )
+
+
+def _build_monitor(args: argparse.Namespace):
+    """A CampaignProgress wired to the ticker/JSON mirror, or None."""
+    if not (args.live or args.progress_json):
+        return None
+    from ..telemetry.progress import CampaignProgress
+
+    def on_tick(progress: CampaignProgress) -> None:
+        if args.live:
+            line = progress.render_ticker()
+            if sys.stderr.isatty():
+                sys.stderr.write("\r\x1b[2K" + line)
+            else:
+                sys.stderr.write(line + "\n")
+            sys.stderr.flush()
+        if args.progress_json:
+            try:
+                progress.write_json(args.progress_json)
+            except OSError:
+                pass
+
+    return CampaignProgress(on_tick=on_tick)
 
 
 def run(args: argparse.Namespace) -> int:
@@ -80,6 +126,8 @@ def run(args: argparse.Namespace) -> int:
     spec.resilience = args.resilience
     spec.synthesize = synthesize
     spec.backend = args.backend
+    spec.telemetry = args.telemetry
+    spec.flight_record_dir = args.flight_record
     if args.lint:
         from ..lint import lint_campaign
 
@@ -88,11 +136,19 @@ def run(args: argparse.Namespace) -> int:
         if report.errors:
             return 1
     workers = args.workers if args.workers is not None else default_workers()
-    result = run_campaign(spec, workers=workers, max_runs=args.runs)
+    monitor = _build_monitor(args)
+    result = run_campaign(
+        spec, workers=workers, max_runs=args.runs, monitor=monitor
+    )
+    if monitor is not None and args.live and sys.stderr.isatty():
+        sys.stderr.write("\n")
     if args.json:
         print(report_as_json(result))
     else:
         print(render_report(result, verbose=args.verbose))
+        if args.flight_record:
+            print(f"\nflight records: {args.flight_record}/run*.jsonl "
+                  "(replay with 'python -m repro telemetry <file>')")
     if any(
         o.classification in ("error", "worker_error")
         for o in result.outcomes

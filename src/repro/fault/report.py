@@ -62,6 +62,32 @@ def _format_table(
     return "\n".join([line(headers), rule, *(line(r) for r in cells)])
 
 
+def merged_telemetry(result: CampaignResult):
+    """All per-run scorecards folded into one campaign-level
+    :class:`~repro.telemetry.scorecard.CellScore`.
+
+    Digest merging is associative and commutative, so the campaign
+    numbers are identical whether the runs executed serially or across
+    a process pool — and outcomes are sorted by run id anyway.
+    """
+    from ..telemetry.scorecard import CellScore
+
+    shards = [
+        CellScore.from_dict(outcome.score)
+        for outcome in result.outcomes
+        if getattr(outcome, "score", None)
+    ]
+    if not shards:
+        return None
+    total = CellScore(
+        shards[0].bus, shards[0].level, f"campaign:{result.spec.name}"
+    )
+    total.cycle_fs = shards[0].cycle_fs
+    for shard in shards:
+        total.merge(shard)
+    return total
+
+
 def per_kind_breakdown(result: CampaignResult) -> dict:
     """``{fault kind: {classification: count}}`` over all outcomes."""
     breakdown: dict = {}
@@ -123,6 +149,20 @@ def render_report(result: CampaignResult, verbose: bool = False) -> str:
             f"{stats['recovery_events']} recovery events, "
             f"mean latency {stats['mean_recovery_latency']} fs"
         )
+    telemetry = merged_telemetry(result)
+    if telemetry is not None:
+        fs_per_ns = 1_000_000
+        latency = telemetry.latency
+        lines.append(
+            f"telemetry: {telemetry.transactions} txns over "
+            f"{len([o for o in result.outcomes if o.score])} scored runs, "
+            f"util {telemetry.utilization:.1%}, "
+            f"{telemetry.throughput:.3f} beats/cyc, "
+            f"latency p50/p95/p99 = "
+            f"{latency.p50 / fs_per_ns:.0f}/"
+            f"{latency.p95 / fs_per_ns:.0f}/"
+            f"{latency.p99 / fs_per_ns:.0f} ns"
+        )
     if verbose:
         lines.append("")
         lines.append(
@@ -156,6 +196,10 @@ def report_as_dict(result: CampaignResult) -> dict:
         "recovery_rate": recovery_rate(result.outcomes),
         "recovery": recovery_stats(result.outcomes),
         "pool_restarts": getattr(result, "pool_restarts", 0),
+        "telemetry": (
+            None if (merged := merged_telemetry(result)) is None
+            else merged.to_dict()
+        ),
         "per_kind": per_kind_breakdown(result),
         "golden": {
             "horizon": result.golden.horizon,

@@ -45,9 +45,21 @@ from .spec import CampaignSpec, RunSpec
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(spec: CampaignSpec, golden: GoldenReference) -> None:
+def _init_worker(
+    spec: CampaignSpec,
+    golden: GoldenReference,
+    heartbeat_channel=None,
+) -> None:
     _WORKER_STATE["spec"] = spec
     _WORKER_STATE["golden"] = golden
+    # Live telemetry: a manager-queue proxy (picklable, unlike a raw
+    # mp.Queue) the worker streams heartbeats through. None = off.
+    if heartbeat_channel is not None:
+        from ..telemetry.progress import HeartbeatSender
+
+        _WORKER_STATE["heartbeats"] = HeartbeatSender(heartbeat_channel)
+    else:
+        _WORKER_STATE["heartbeats"] = None
 
 
 def _worker(run: RunSpec) -> RunOutcome:
@@ -57,7 +69,13 @@ def _worker(run: RunSpec) -> RunOutcome:
         # Chaos knob: die the way a segfaulting or OOM-killed worker
         # does — no exception, no cleanup, just a vanished process.
         os._exit(17)
-    return execute_run(spec, run, _WORKER_STATE["golden"])
+    heartbeats = _WORKER_STATE.get("heartbeats")
+    if heartbeats is not None:
+        heartbeats.start(run.run_id)
+    outcome = execute_run(spec, run, _WORKER_STATE["golden"])
+    if heartbeats is not None:
+        heartbeats.done(run.run_id, outcome.classification)
+    return outcome
 
 
 def _worker_error(run: RunSpec, detail: str) -> RunOutcome:
@@ -110,9 +128,13 @@ def _run_serial(
     runs: list[RunSpec],
     golden: GoldenReference,
     progress: typing.Callable[[RunOutcome], None] | None,
+    monitor=None,
 ) -> list[RunOutcome]:
     outcomes = []
     for run in runs:
+        if monitor is not None:
+            monitor.heartbeat(os.getpid(), run.run_id)
+            monitor.tick()
         if run.run_id in spec.crash_run_ids:
             # Mirror what the self-healing pool reports for this run so
             # serial and parallel campaigns stay byte-identical.
@@ -120,13 +142,18 @@ def _run_serial(
         else:
             outcome = execute_run(spec, run, golden)
         outcomes.append(outcome)
+        if monitor is not None:
+            monitor.heartbeat(os.getpid(), None)
         if progress is not None:
             progress(outcome)
     return outcomes
 
 
 def _quarantine_run(
-    spec: CampaignSpec, run: RunSpec, golden: GoldenReference
+    spec: CampaignSpec,
+    run: RunSpec,
+    golden: GoldenReference,
+    heartbeat_channel=None,
 ) -> RunOutcome:
     """Retry one run alone in a fresh single-worker pool.
 
@@ -136,7 +163,7 @@ def _quarantine_run(
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=1,
         initializer=_init_worker,
-        initargs=(spec, golden),
+        initargs=(spec, golden, heartbeat_channel),
     ) as pool:
         try:
             return pool.submit(_worker, run).result()
@@ -156,39 +183,68 @@ def _run_parallel(
     golden: GoldenReference,
     workers: int,
     progress: typing.Callable[[RunOutcome], None] | None,
+    monitor=None,
 ) -> tuple[list[RunOutcome], int]:
     outcomes: list[RunOutcome] = []
     unfinished: list[RunSpec] = []
     restarts = 0
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(spec, golden),
-    ) as pool:
-        futures = {pool.submit(_worker, run): run for run in runs}
-        for future in concurrent.futures.as_completed(futures):
-            run = futures[future]
-            try:
-                outcome = future.result()
-            except BrokenProcessPool:
-                # Completed siblings are already in `outcomes`; this run
-                # either killed its worker or is collateral damage —
-                # the quarantine phase below sorts out which.
-                unfinished.append(run)
-                continue
-            except Exception as error:  # noqa: BLE001
-                outcome = _worker_error(
-                    run, f"{type(error).__name__}: {error}"
+    # Heartbeat transport only exists when someone is listening: a
+    # manager process (whose queue proxy pickles into initargs, unlike
+    # a raw mp.Queue) is real cost, so monitor-less campaigns take the
+    # historical zero-telemetry path bit for bit.
+    manager = None
+    channel = None
+    if monitor is not None:
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        channel = manager.Queue()
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(spec, golden, channel),
+        ) as pool:
+            futures = {pool.submit(_worker, run): run for run in runs}
+            pending = set(futures)
+            while pending:
+                done, pending = concurrent.futures.wait(
+                    pending,
+                    timeout=0.2 if monitor is not None else None,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
                 )
+                if monitor is not None:
+                    monitor.drain(channel)
+                    monitor.tick()
+                for future in done:
+                    run = futures[future]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        # Completed siblings are already in `outcomes`;
+                        # this run either killed its worker or is
+                        # collateral damage — the quarantine phase
+                        # below sorts out which.
+                        unfinished.append(run)
+                        continue
+                    except Exception as error:  # noqa: BLE001
+                        outcome = _worker_error(
+                            run, f"{type(error).__name__}: {error}"
+                        )
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+        for run in sorted(unfinished, key=lambda r: r.run_id):
+            restarts += 1
+            outcome = _quarantine_run(spec, run, golden, channel)
+            if monitor is not None:
+                monitor.drain(channel)
             outcomes.append(outcome)
             if progress is not None:
                 progress(outcome)
-    for run in sorted(unfinished, key=lambda r: r.run_id):
-        restarts += 1
-        outcome = _quarantine_run(spec, run, golden)
-        outcomes.append(outcome)
-        if progress is not None:
-            progress(outcome)
+    finally:
+        if manager is not None:
+            manager.shutdown()
     return outcomes, restarts
 
 
@@ -197,6 +253,7 @@ def run_campaign(
     workers: int = 1,
     progress: typing.Callable[[RunOutcome], None] | None = None,
     max_runs: int | None = None,
+    monitor=None,
 ) -> CampaignResult:
     """Plan and execute a whole campaign.
 
@@ -205,19 +262,36 @@ def run_campaign(
     :param progress: optional callback invoked with each outcome as it
         lands (completion order, not run order).
     :param max_runs: truncate the expanded run list (smoke testing).
+    :param monitor: optional
+        :class:`~repro.telemetry.progress.CampaignProgress` aggregator;
+        receives worker heartbeats and per-outcome counters live.
     """
     started = _time.perf_counter()
     golden, runs = plan_campaign(spec)
     if max_runs is not None:
         runs = runs[:max_runs]
+    if monitor is not None:
+        monitor.begin(len(runs))
+        user_progress = progress
+
+        def progress(outcome, _user=user_progress):  # noqa: F811
+            monitor.record_outcome(outcome)
+            monitor.tick()
+            if _user is not None:
+                _user(outcome)
+
     restarts = 0
     if workers <= 1:
-        outcomes = _run_serial(spec, runs, golden, progress)
+        outcomes = _run_serial(spec, runs, golden, progress, monitor)
     else:
         outcomes, restarts = _run_parallel(
-            spec, runs, golden, workers, progress
+            spec, runs, golden, workers, progress, monitor
         )
     outcomes.sort(key=lambda o: o.run_id)
+    if spec.flight_record_dir:
+        _write_post_mortem_stubs(spec, outcomes)
+    if monitor is not None:
+        monitor.finish()
     return CampaignResult(
         spec,
         golden,
@@ -226,3 +300,42 @@ def run_campaign(
         workers,
         pool_restarts=restarts,
     )
+
+
+def _write_post_mortem_stubs(
+    spec: CampaignSpec, outcomes: list[RunOutcome]
+) -> None:
+    """Header-only flight records for runs whose worker died.
+
+    A hard-exited worker can't dump its own ring; the parent leaves a
+    stub in its place so the record directory always has one file per
+    run and post-mortem tooling can tell "no events" from "no file".
+    """
+    import json
+
+    from .campaign import flight_record_path
+
+    for outcome in outcomes:
+        if outcome.classification != WORKER_ERROR:
+            continue
+        path = flight_record_path(spec.flight_record_dir, outcome.run_id)
+        if os.path.exists(path):
+            continue
+        document = {
+            "type": "header",
+            "run_id": outcome.run_id,
+            "campaign": spec.name,
+            "platform": spec.platform,
+            "classification": outcome.classification,
+            "detail": outcome.detail,
+            "seen": 0,
+            "retained": 0,
+            "dropped": 0,
+            "post_mortem_stub": True,
+        }
+        try:
+            os.makedirs(spec.flight_record_dir, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as stream:
+                stream.write(json.dumps(document, sort_keys=True) + "\n")
+        except OSError:
+            pass

@@ -91,6 +91,9 @@ class CampaignSpec:
         crash_run_ids: typing.Sequence[int] = (),
         synthesize: bool = False,
         backend: str = "interpreted",
+        telemetry: bool = False,
+        flight_record_dir: "str | None" = None,
+        flight_record_capacity: int = 512,
     ) -> None:
         if platform not in PLATFORMS:
             raise FaultInjectionError(
@@ -149,6 +152,17 @@ class CampaignSpec:
         #: channels: "interpreted" or "compiled" (repro.compile).
         self.synthesize = synthesize
         self.backend = backend
+        #: attach a communication ScorecardProbe to every run and carry
+        #: the per-run gauges (as a picklable dict) on the outcomes;
+        #: reports merge them into campaign-level digests that are
+        #: identical for serial and process-pool execution.
+        self.telemetry = telemetry
+        #: when set, every run dumps its flight-recorder ring (the last
+        #: ``flight_record_capacity`` structured events) as
+        #: ``run<NNN>.jsonl`` under this directory — including runs that
+        #: crash or misbehave, which is the whole point.
+        self.flight_record_dir = flight_record_dir
+        self.flight_record_capacity = flight_record_capacity
 
     def workload_seeds(self) -> list[int]:
         return [self.seed + i for i in range(self.n_apps)]

@@ -15,6 +15,11 @@ ways against the reference:
   :func:`~repro.trace.correlate.correlate`, giving one CONSISTENT /
   MISMATCH verdict per transaction.
 
+With ``telemetry=True`` every run (reference and cells) additionally
+carries a :class:`~repro.telemetry.scorecard.ScorecardProbe`, so the
+sweep yields quantitative communication gauges next to the yes/no
+verdicts — the scorecard ``python -m repro report --matrix`` renders.
+
 An optional fault leg runs the stock demo campaign per bus family so
 the matrix also spans the fault-classification machinery.
 """
@@ -23,7 +28,7 @@ from __future__ import annotations
 
 import typing
 
-from ..kernel.simtime import MS
+from ..kernel.simtime import MS, NS
 
 #: Cell refinement levels: the behavioural element, the synthesized
 #: channel on the interpreted backend, and the compiled fast-sim core.
@@ -48,6 +53,8 @@ class MatrixCell:
         self.error: str | None = None
         self.sim_time = 0
         self.wall_seconds = 0.0
+        #: Communication gauges (telemetry-enabled sweeps only).
+        self.score = None
 
     @property
     def verdict(self) -> str:
@@ -76,6 +83,7 @@ class MatrixCell:
             "error": self.error,
             "sim_time": self.sim_time,
             "wall_seconds": self.wall_seconds,
+            "score": None if self.score is None else self.score.to_dict(),
         }
 
     def __repr__(self) -> str:
@@ -99,6 +107,8 @@ class SwapMatrixReport:
         self.cells: list[MatrixCell] = []
         #: bus family -> fault classification counts (fault leg only).
         self.fault_counts: dict[str, dict[str, int]] = {}
+        #: The functional reference run's gauges (telemetry sweeps only).
+        self.reference_score = None
 
     @property
     def all_consistent(self) -> bool:
@@ -111,6 +121,13 @@ class SwapMatrixReport:
             if cell.bus == bus and cell.level == level:
                 return cell
         return None
+
+    def scorecard(self):
+        """The sweep's :class:`~repro.telemetry.scorecard
+        .MatrixScorecard`, or ``None`` for telemetry-off sweeps."""
+        from ..telemetry.scorecard import MatrixScorecard
+
+        return MatrixScorecard.from_matrix(self)
 
     def render(self) -> str:
         width = max(
@@ -168,6 +185,10 @@ class SwapMatrixReport:
                 bus: dict(counts)
                 for bus, counts in self.fault_counts.items()
             },
+            "scorecard": (
+                None if (card := self.scorecard()) is None
+                else card.to_dict()
+            ),
         }
 
 
@@ -183,14 +204,22 @@ def _matrix_workload(seed: int, n_commands: int) -> list:
     )
 
 
-def _traced_run(bundle, max_time: int):
-    """Run a bundle with a causal SpanTracer attached; both finalized."""
+def _traced_run(bundle, max_time: int, cycle_fs: int = 0,
+                telemetry: bool = False):
+    """Run a bundle with a causal SpanTracer (and, for telemetry
+    sweeps, a ScorecardProbe) attached; returns
+    ``(tracer, result, probe-or-None)``."""
     from ..trace.spans import SpanTracer
 
+    probe = None
+    if telemetry:
+        from ..telemetry.scorecard import ScorecardProbe
+
+        probe = ScorecardProbe(cycle_fs).attach(bundle.handle.sim.probes)
     tracer = SpanTracer(causal=True).attach(bundle.handle.sim.probes)
     result = bundle.run(max_time)
     tracer.finalize()
-    return tracer, result
+    return tracer, result, probe
 
 
 def _verify_cell(
@@ -205,7 +234,7 @@ def _verify_cell(
     from ..trace.correlate import correlate
     from ..verify.consistency import check_traces
 
-    ref_tracer, ref_result = reference
+    ref_tracer, ref_result, __ = reference
     trace_report = check_traces(
         ref_result.traces, result.traces, "functional", cell.label
     )
@@ -236,6 +265,7 @@ def run_swap_matrix(
     config=None,
     max_time: int = 200 * MS,
     fault_runs: int = 0,
+    telemetry: bool = False,
 ) -> SwapMatrixReport:
     """Sweep ``bus × level`` over one workload; verify every cell.
 
@@ -245,6 +275,11 @@ def run_swap_matrix(
     :param fault_runs: when > 0, additionally run the stock demo fault
         campaign (scaled to about this many runs) once per bus family
         and record the classification counts.
+    :param telemetry: attach a
+        :class:`~repro.telemetry.scorecard.ScorecardProbe` to the
+        reference and every cell, populating ``cell.score`` /
+        ``report.reference_score`` and enabling
+        :meth:`SwapMatrixReport.scorecard`.
     """
     import time as _time
 
@@ -254,9 +289,19 @@ def run_swap_matrix(
     workload = _matrix_workload(seed, n_commands)
     golden_image = expected_memory_image(workload, 0x400 // 4)
     report = SwapMatrixReport(seed, n_commands, buses, levels)
+    # One clock basis for every cell so beats/cycle compares across
+    # families (the functional reference has no wires, let alone a
+    # clock of its own).
+    cycle_fs = config.clock_period if config is not None else 30 * NS
 
     ref_bundle = build_functional_platform([workload], config)
-    reference = _traced_run(ref_bundle, max_time)
+    reference = _traced_run(
+        ref_bundle, max_time, cycle_fs, telemetry=telemetry
+    )
+    if reference[2] is not None:
+        report.reference_score = reference[2].score(
+            "functional", "functional", "functional_reference"
+        )
 
     for bus in report.buses:
         for level in report.levels:
@@ -273,10 +318,14 @@ def run_swap_matrix(
                     label=label,
                     synthesis_config=_cell_synthesis_config(level, config),
                 )
-                tracer, result = _traced_run(bundle, max_time)
+                tracer, result, probe = _traced_run(
+                    bundle, max_time, cycle_fs, telemetry=telemetry
+                )
                 _verify_cell(
                     cell, bundle, tracer, result, reference, golden_image
                 )
+                if probe is not None:
+                    cell.score = probe.score(bus, level, label)
             except Exception as exc:  # keep sweeping; report the cell
                 cell.error = f"{type(exc).__name__}: {exc}"
                 cell.consistent = False

@@ -17,7 +17,7 @@ import sys
 
 from .metrics import MethodMetrics, MetricsCollector
 from .probes import ProbeBus, set_default_bus
-from .profiler import WallClockProfiler
+from .profiler import MAX_TRACE_EVENTS, WallClockProfiler
 
 #: Femtoseconds per nanosecond, for human-readable method timings.
 _FS_PER_NS = 1_000_000
@@ -52,20 +52,32 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--quiet-script", action="store_true",
         help="suppress the profiled script's stdout",
     )
+    parser.add_argument(
+        "--max-trace-events", type=int, default=MAX_TRACE_EVENTS,
+        metavar="N",
+        help="Chrome-trace slices kept before truncation "
+             f"(default {MAX_TRACE_EVENTS}; truncation is always "
+             "reported, never silent)",
+    )
 
 
 def _method_table(rows: list[MethodMetrics], top: int) -> str:
     lines = [
         "guarded-method traffic",
         f"  {'channel.method':<44} {'calls':>6} {'queued':>6} "
-        f"{'wait ns':>9} {'svc ns':>9} {'total ns':>9}",
+        f"{'wait ns':>9} {'svc ns':>9} {'total ns':>9} "
+        f"{'p50 ns':>8} {'p95 ns':>8} {'p99 ns':>8}",
     ]
     for record in rows[:top]:
+        total = record.total_times
         lines.append(
             f"  {record.key:<44} {record.calls:>6} {record.queued:>6} "
             f"{record.wait_times.mean / _FS_PER_NS:>9.1f} "
             f"{record.service_times.mean / _FS_PER_NS:>9.1f} "
-            f"{record.total_times.mean / _FS_PER_NS:>9.1f}"
+            f"{total.mean / _FS_PER_NS:>9.1f} "
+            f"{total.quantile(0.5) / _FS_PER_NS:>8.1f} "
+            f"{total.quantile(0.95) / _FS_PER_NS:>8.1f} "
+            f"{total.quantile(0.99) / _FS_PER_NS:>8.1f}"
         )
     if len(rows) > top:
         lines.append(f"  ... and {len(rows) - top} more")
@@ -90,7 +102,9 @@ def _run_script(script: str, script_args: list[str], quiet: bool) -> None:
 def run(args: argparse.Namespace) -> int:
     bus = ProbeBus()
     metrics = MetricsCollector().attach(bus)
-    profiler = WallClockProfiler().attach(bus)
+    profiler = WallClockProfiler(
+        max_trace_events=args.max_trace_events
+    ).attach(bus)
     previous = set_default_bus(bus)
     try:
         _run_script(args.script, args.script_args, args.quiet_script)
@@ -121,8 +135,13 @@ def run(args: argparse.Namespace) -> int:
 
     if args.chrome_trace and args.chrome_trace != "none":
         report.write_chrome_trace(args.chrome_trace)
+        truncated = (
+            f", {report.dropped_events} dropped past the "
+            f"{report.max_trace_events}-slice cap"
+            if report.dropped_events else ""
+        )
         print(f"\nwrote chrome trace: {args.chrome_trace} "
-              f"({len(report.trace_events)} slices)")
+              f"({len(report.trace_events)} slices{truncated})")
 
     if args.json_path:
         payload = json.dumps(

@@ -8,13 +8,16 @@ tests and benchmarks.
 
 :class:`Histogram` keeps power-of-two buckets, so adding a sample is two
 integer ops and histograms over femtosecond quantities never allocate
-per-sample storage.
+per-sample storage. Quantile queries delegate to the shared kernel in
+:mod:`repro.telemetry.digest`, so a p95 printed by the profiler tables
+and a p95 on a communication scorecard always mean the same thing.
 """
 
 from __future__ import annotations
 
 import typing
 
+from ..telemetry.digest import quantile_from_pow2_buckets
 from .probes import (
     DELTA_BEGIN,
     DETECTION,
@@ -93,20 +96,9 @@ class Histogram:
 
     def quantile(self, q: float) -> int:
         """Approximate *q*-quantile (upper bound of the matching bucket)."""
-        if not self.count:
-            return 0
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        threshold = q * self.count
-        seen = 0
-        for bucket in sorted(self._buckets):
-            seen += self._buckets[bucket]
-            if seen >= threshold:
-                upper = (1 << bucket) - 1 if bucket else 0
-                assert self.max is not None
-                return min(upper, self.max)
-        assert self.max is not None
-        return self.max
+        return quantile_from_pow2_buckets(
+            self._buckets, self.count, self.max, q
+        )
 
     def buckets(self) -> list[tuple[int, int]]:
         """``(upper_bound, count)`` pairs in ascending bucket order."""
@@ -124,6 +116,8 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.5),
             "p90": self.quantile(0.9),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:

@@ -23,29 +23,58 @@ from .probes import (
     ProbeBus,
 )
 
-#: Chrome-trace events kept before the profiler starts dropping slices.
+#: Default Chrome-trace events kept before slices get dropped; every
+#: exporter takes a ``max_trace_events`` override (no silent caps —
+#: truncation is always reported in the document metadata and the
+#: rendered report).
 MAX_TRACE_EVENTS = 100_000
 
 
-def chrome_trace_document(trace_events: list[dict], dropped_events: int = 0) -> dict:
-    """Wrap raw trace-event slices in a Chrome trace-event document."""
+def chrome_trace_document(
+    trace_events: list[dict],
+    dropped_events: int = 0,
+    max_trace_events: int | None = None,
+) -> dict:
+    """Wrap raw trace-event slices in a Chrome trace-event document.
+
+    The ``otherData`` block always states whether (and how hard) the
+    exporter truncated: ``dropped_events``, the configured cap, and an
+    explicit ``truncated`` flag tools can alert on.
+    """
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"dropped_events": dropped_events},
+        "otherData": {
+            "dropped_events": dropped_events,
+            "max_trace_events": max_trace_events,
+            "truncated": dropped_events > 0,
+        },
     }
 
 
 def write_chrome_trace(
-    path: str, trace_events: list[dict], dropped_events: int = 0
+    path: str,
+    trace_events: list[dict],
+    dropped_events: int = 0,
+    max_trace_events: int | None = None,
 ) -> None:
     """Write *trace_events* to *path* as Chrome trace-event JSON.
 
-    Shared by the profiler and the span tracer so every exporter emits
-    the same document shape.
+    Shared by the profiler, the span tracer and the flight-recorder
+    replay so every exporter emits the same document shape. When the
+    caller enforces a cap, events beyond it are dropped *here* (not
+    silently upstream) and counted in the document metadata.
     """
+    if max_trace_events is not None and len(trace_events) > max_trace_events:
+        dropped_events += len(trace_events) - max_trace_events
+        trace_events = trace_events[:max_trace_events]
     with open(path, "w") as handle:
-        json.dump(chrome_trace_document(trace_events, dropped_events), handle)
+        json.dump(
+            chrome_trace_document(
+                trace_events, dropped_events, max_trace_events
+            ),
+            handle,
+        )
 
 
 class ProcessProfile:
@@ -96,6 +125,7 @@ class ProfileReport:
         total_deltas: int,
         trace_events: list[dict],
         dropped_events: int,
+        max_trace_events: int = MAX_TRACE_EVENTS,
     ) -> None:
         self.processes = processes
         self.hotspots = hotspots
@@ -103,6 +133,7 @@ class ProfileReport:
         self.total_deltas = total_deltas
         self.trace_events = trace_events
         self.dropped_events = dropped_events
+        self.max_trace_events = max_trace_events
 
     def hot_processes(self, top_n: int = 10) -> list[ProcessProfile]:
         return sorted(
@@ -153,7 +184,9 @@ class ProfileReport:
                 "",
                 f"chrome trace truncated: {self.dropped_events} "
                 "slices dropped after the first "
-                f"{MAX_TRACE_EVENTS}",
+                f"{self.max_trace_events} "
+                "(raise with --max-trace-events / "
+                "WallClockProfiler(max_trace_events=...))",
             ]
         return "\n".join(lines)
 
@@ -164,14 +197,22 @@ class ProfileReport:
             "processes": [p.to_dict() for p in self.hot_processes(top_n)],
             "delta_hotspots": [h.to_dict() for h in self.delta_hotspots(top_n)],
             "dropped_trace_events": self.dropped_events,
+            "max_trace_events": self.max_trace_events,
         }
 
     def chrome_trace(self) -> dict:
         """The activation timeline in Chrome trace-event format."""
-        return chrome_trace_document(self.trace_events, self.dropped_events)
+        return chrome_trace_document(
+            self.trace_events, self.dropped_events, self.max_trace_events
+        )
 
     def write_chrome_trace(self, path: str) -> None:
-        write_chrome_trace(path, self.trace_events, self.dropped_events)
+        write_chrome_trace(
+            path,
+            self.trace_events,
+            self.dropped_events,
+            self.max_trace_events,
+        )
 
 
 class WallClockProfiler:
@@ -183,8 +224,21 @@ class WallClockProfiler:
     attached mid-activation) is simply ignored.
     """
 
-    def __init__(self, clock: typing.Callable[[], float] | None = None) -> None:
+    def __init__(
+        self,
+        clock: typing.Callable[[], float] | None = None,
+        max_trace_events: "int | None" = None,
+    ) -> None:
+        # None = the module default, resolved at construction time so
+        # tests (and embedders) can retune MAX_TRACE_EVENTS globally.
+        if max_trace_events is None:
+            max_trace_events = MAX_TRACE_EVENTS
+        if max_trace_events <= 0:
+            raise ValueError(
+                f"max_trace_events must be positive, got {max_trace_events}"
+            )
         self._clock = clock or _time.perf_counter
+        self.max_trace_events = max_trace_events
         self._origin = self._clock()
         self._processes: dict[str, ProcessProfile] = {}
         self._hotspots: dict[int, DeltaHotspot] = {}
@@ -241,7 +295,7 @@ class WallClockProfiler:
             hotspot = self._hotspots.get(self._delta_time)
             if hotspot is not None:
                 hotspot.wall_seconds += elapsed
-        if len(self._trace_events) < MAX_TRACE_EVENTS:
+        if len(self._trace_events) < self.max_trace_events:
             self._trace_events.append(
                 {
                     "name": name,
@@ -280,4 +334,5 @@ class WallClockProfiler:
             total_deltas=self._total_deltas,
             trace_events=list(self._trace_events),
             dropped_events=self._dropped,
+            max_trace_events=self.max_trace_events,
         )

@@ -1,0 +1,83 @@
+"""``python -m repro telemetry`` — replay dumped flight records.
+
+Reads one or more flight-recorder JSONL files (dumped by
+``python -m repro fault --flight-record DIR``) and replays them into
+the existing renderers: a human-readable timeline, the raw JSON
+document, or a Chrome trace-event file loadable in ``chrome://tracing``
+/ Perfetto — post-mortems without re-running the campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..instrument.profiler import write_chrome_trace
+from .recorder import (
+    flight_record_chrome_trace,
+    load_flight_record,
+    render_flight_record,
+)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "records", nargs="+", metavar="RECORD",
+        help="flight-record JSONL file(s) to replay",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write the loaded records as one JSON document "
+             "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--chrome", dest="chrome_path", default=None, metavar="PATH",
+        help="convert the records into a Chrome trace-event file",
+    )
+    parser.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="only render the last N events of each record",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    loaded = []
+    for path in args.records:
+        try:
+            header, events = load_flight_record(path)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"telemetry: cannot read {path}: {error}",
+                  file=sys.stderr)
+            return 2
+        loaded.append((path, header, events))
+
+    for index, (path, header, events) in enumerate(loaded):
+        if index:
+            print()
+        shown = events if args.tail is None else events[-args.tail:]
+        print(f"{path}:")
+        print(render_flight_record(header, shown))
+
+    if args.chrome_path:
+        slices = []
+        for __, __, events in loaded:
+            slices.extend(flight_record_chrome_trace(events))
+        write_chrome_trace(args.chrome_path, slices)
+        print(f"\nwrote chrome trace: {args.chrome_path} "
+              f"({len(slices)} slices)")
+    if args.json_path:
+        payload = json.dumps(
+            [
+                {"path": path, "header": header, "events": events}
+                for path, header, events in loaded
+            ],
+            indent=2,
+        )
+        if args.json_path == "-":
+            print(payload)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            print(f"wrote json report: {args.json_path}")
+    return 0

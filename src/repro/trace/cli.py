@@ -9,9 +9,11 @@ Two modes:
   critical path, optionally writing a Chrome trace of the span forest.
 
 * **Diff mode** (``spans --diff pin_accurate post_synthesis``): builds
-  two refinement levels of the canonical PCI platform over the *same*
+  two refinement levels of the canonical platform over the *same*
   generated workload, traces both, and prints the per-transaction
-  consistency + latency diff (:mod:`repro.trace.correlate`).
+  consistency + latency diff (:mod:`repro.trace.correlate`). The bus
+  family follows the global ``--bus`` flag (default pci), so
+  cross-refinement diffing works for wishbone/axi4lite/tlmgp too.
 """
 
 from __future__ import annotations
@@ -107,14 +109,18 @@ def _diff_workload(args: argparse.Namespace) -> list:
     )
 
 
-def trace_level(level: str, workload: list, causal: bool = True):
+def trace_level(level: str, workload: list, causal: bool = True,
+                bus: str = "pci"):
     """Build one refinement level, run it traced, return the tracer.
 
+    :param bus: pin-level family for the ``pin_accurate`` /
+        ``post_synthesis`` levels (``functional`` is always the
+        behavioural reference element).
     :returns: ``(tracer, run_result)``; the tracer is finalized.
     """
     from ..flow.platforms import (
         build_functional_platform,
-        build_pci_platform,
+        build_platform,
     )
     from ..kernel.simtime import MS
 
@@ -122,10 +128,10 @@ def trace_level(level: str, workload: list, causal: bool = True):
         bundle = build_functional_platform([workload])
         max_time = 100 * MS
     elif level == "pin_accurate":
-        bundle = build_pci_platform([workload])
+        bundle = build_platform([workload], bus=bus)
         max_time = 100 * MS
     elif level == "post_synthesis":
-        bundle = build_pci_platform([workload], synthesize=True)
+        bundle = build_platform([workload], bus=bus, synthesize=True)
         max_time = 200 * MS
     else:
         raise ValueError(f"unknown refinement level {level!r}")
@@ -139,20 +145,28 @@ def diff_levels(
     level_a: str,
     level_b: str,
     workload: list,
+    bus: str = "pci",
 ) -> "tuple[SpanDiff, SpanTracer, SpanTracer]":
     """Trace both levels over *workload* and correlate the span forests."""
-    tracer_a, _ = trace_level(level_a, workload)
-    tracer_b, _ = trace_level(level_b, workload)
+    tracer_a, _ = trace_level(level_a, workload, bus=bus)
+    tracer_b, _ = trace_level(level_b, workload, bus=bus)
     return correlate(tracer_a, tracer_b, level_a, level_b), tracer_a, tracer_b
 
 
 def _run_diff(args: argparse.Namespace) -> int:
     level_a, level_b = args.diff
+    # The global --bus flag (parsed by __main__) selects the family;
+    # default to pci for direct/legacy invocations of this module.
+    bus = getattr(args, "bus", None) or "pci"
+    if bus == "functional":
+        print("spans: --bus functional is the reference side; pick a "
+              "pin-level or transaction family", file=sys.stderr)
+        return 2
     workload = _diff_workload(args)
-    diff, tracer_a, tracer_b = diff_levels(level_a, level_b, workload)
+    diff, tracer_a, tracer_b = diff_levels(level_a, level_b, workload, bus)
 
     print(f"== spans diff: {level_a} vs {level_b} "
-          f"({len(workload)} commands) ==")
+          f"(bus {bus}, {len(workload)} commands) ==")
     for level, tracer in ((level_a, tracer_a), (level_b, tracer_b)):
         report = attribute(tracer)
         print()

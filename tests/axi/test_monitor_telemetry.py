@@ -1,0 +1,129 @@
+"""AXI4-Lite monitor violations flowing into the telemetry stack.
+
+Satellite coverage: payload-stability, EXOKAY and undefined-RESP
+violations must land in the simulator's detection log, in an attached
+:class:`ScorecardProbe`'s detection counter, in the flight recorder,
+and (end to end) in the fault classifier's ``detected`` bucket.
+"""
+
+import pytest
+
+from repro.axi import RESP_EXOKAY, AxiLiteBus, AxiLiteMonitor
+from repro.hdl import Clock, Module
+from repro.hdl.bitvector import LogicVector
+from repro.kernel import MS, NS, Simulator
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.scorecard import ScorecardProbe
+
+
+class _MonitorBench(Module):
+    """Bus + non-strict monitor only; the test drives the wires."""
+
+    def __init__(self, parent, name):
+        super().__init__(parent, name)
+        self.clock = Clock(self, "clock", period=10 * NS)
+        self.bus = AxiLiteBus(self, "bus")
+        self.monitor = AxiLiteMonitor(
+            self, "mon", self.bus, self.clock.clk, strict=False
+        )
+
+
+@pytest.fixture()
+def violations_run():
+    sim = Simulator()
+    probe = ScorecardProbe().attach(sim.probes)
+    recorder = FlightRecorder(64).attach(sim.probes)
+    tb = _MonitorBench(sim, "tb")
+    bus = tb.bus
+    clk = tb.clock.clk
+
+    def stim():
+        b_valid = bus.bvalid.get_driver("tb.stim.bvalid")
+        b_resp = bus.bresp.get_driver("tb.stim.bresp")
+        # 1. Payload instability: AWADDR changes while AWVALID waits.
+        bus.awvalid.write(1)
+        bus.awaddr.write(LogicVector(bus.addr_width, 0x10))
+        yield clk.posedge
+        yield clk.posedge
+        bus.awaddr.write(LogicVector(bus.addr_width, 0x20))
+        yield clk.posedge
+        bus.awvalid.write(0)
+        yield clk.posedge
+        # 2. EXOKAY write response (illegal on AXI4-Lite).
+        b_valid.write(1)
+        b_resp.write(LogicVector(2, RESP_EXOKAY))
+        bus.bready.write(1)
+        yield clk.posedge
+        b_valid.write(0)
+        bus.bready.write(0)
+        yield clk.posedge
+        # 3. B handshake with BRESP left undriven (undefined).
+        b_resp.release()
+        b_valid.write(1)
+        bus.bready.write(1)
+        yield clk.posedge
+        b_valid.release()
+        bus.bready.write(0)
+        yield clk.posedge
+        sim.stop()
+
+    sim.spawn(stim, "stim")
+    sim.run(1 * MS)
+    return sim, tb, probe, recorder
+
+
+class TestMonitorViolationTelemetry:
+    def test_monitor_flags_all_three_rule_breaks(self, violations_run):
+        __, tb, __, __ = violations_run
+        text = "\n".join(tb.monitor.violations)
+        assert "AWADDR changed while AWVALID held" in text
+        assert "EXOKAY response on AXI4-Lite" in text
+        assert "undefined BRESP" in text
+
+    def test_detections_reach_the_simulator_log(self, violations_run):
+        sim, tb, __, __ = violations_run
+        assert len(sim.detections) == len(tb.monitor.violations)
+        assert all(r.source == "tb.mon" for r in sim.detections)
+
+    def test_scorecard_counts_detections(self, violations_run):
+        __, tb, probe, __ = violations_run
+        score = probe.score("axi4lite", "pin", "violations")
+        assert score.detections == len(tb.monitor.violations)
+        assert score.detections >= 3
+
+    def test_flight_recorder_captures_violation_events(self, violations_run):
+        __, tb, __, recorder = violations_run
+        detections = [
+            e for e in recorder.events if e["kind"] == "detection"
+        ]
+        assert len(detections) == len(tb.monitor.violations)
+        assert any("EXOKAY" in e["message"] for e in detections)
+        assert all(e["source"] == "tb.mon" for e in detections)
+
+
+class TestCampaignClassifierIntegration:
+    def test_arready_stuck_at_is_detected_with_scored_run(self):
+        """A stuck ARREADY on the demo AXI4-Lite platform stalls the
+        master with AWVALID held, the monitor's stability checker fires,
+        and the classifier must file the run as *detected* with the
+        violation counted in the run's telemetry score."""
+        from repro.fault import run_campaign
+        from repro.fault.spec import demo_campaign_spec
+
+        spec = demo_campaign_spec(platform="axi4lite", seed=11, runs=24)
+        spec.telemetry = True
+        result = run_campaign(spec, max_runs=12)
+        stuck = [
+            o for o in result.outcomes
+            if o.kind == "stuck_at" and "arready" in o.target_path
+        ]
+        assert stuck, "demo campaign lost its arready stuck-at leg"
+        detected = [o for o in stuck if o.classification == "detected"]
+        assert detected, (
+            "arready stuck-at was never detected: "
+            + ", ".join(f"{o.run_id}:{o.classification}" for o in stuck)
+        )
+        for outcome in detected:
+            assert "AWVALID held" in outcome.detail
+            assert outcome.score["detections"] > 0
+            assert outcome.score["bus"] == "axi4lite"

@@ -1,0 +1,69 @@
+"""Tests for telemetry-enabled swap-matrix sweeps and their scorecards."""
+
+import json
+
+import pytest
+
+from repro.iface import run_swap_matrix
+
+
+@pytest.fixture(scope="module")
+def telemetry_report():
+    return run_swap_matrix(
+        seed=55, n_commands=5, buses=("pci", "tlmgp"),
+        levels=("functional", "synthesized"), telemetry=True,
+    )
+
+
+class TestScoredMatrix:
+    def test_every_cell_is_scored(self, telemetry_report):
+        assert telemetry_report.all_consistent
+        for cell in telemetry_report.cells:
+            assert cell.score is not None, f"{cell.bus}/{cell.level}"
+            assert cell.score.bus == cell.bus
+            assert cell.score.level == cell.level
+            assert cell.score.transactions > 0
+
+    def test_reference_run_is_scored_too(self, telemetry_report):
+        reference = telemetry_report.reference_score
+        assert reference is not None
+        assert reference.transactions == 5
+
+    def test_clocked_cells_have_communication_gauges(self, telemetry_report):
+        card = telemetry_report.scorecard()
+        score = card.cell("pci", "synthesized")
+        assert 0.0 < score.utilization <= 1.0
+        assert score.throughput > 0.0
+        assert score.latency.p50 > 0
+        assert score.latency.p50 <= score.latency.p95 <= score.latency.p99
+
+    def test_scorecard_covers_the_sweep(self, telemetry_report):
+        card = telemetry_report.scorecard()
+        assert card.seed == 55
+        assert card.buses == ("pci", "tlmgp")
+        assert len(card.cells) == 4
+        text = card.render()
+        assert "(reference)" in text
+        assert "tlmgp" in text
+
+    def test_report_document_embeds_scorecard(self, telemetry_report):
+        document = telemetry_report.to_dict()
+        assert document["scorecard"] is not None
+        assert len(document["scorecard"]["cells"]) == 4
+        json.dumps(document)  # whole report stays JSON-serializable
+
+    def test_cell_document_embeds_score(self, telemetry_report):
+        cell = telemetry_report.cell("pci", "synthesized")
+        assert cell.to_dict()["score"]["transactions"] > 0
+
+
+class TestTelemetryOff:
+    def test_default_matrix_has_no_scores(self):
+        report = run_swap_matrix(
+            seed=55, n_commands=3, buses=("tlmgp",), levels=("functional",)
+        )
+        assert report.all_consistent
+        assert report.reference_score is None
+        assert all(cell.score is None for cell in report.cells)
+        assert report.scorecard() is None
+        assert report.to_dict()["scorecard"] is None

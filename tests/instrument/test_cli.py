@@ -128,6 +128,34 @@ class TestProfileCli:
         ]) == 0
         assert default_bus() is before
 
+    def test_max_trace_events_flag_truncates_with_metadata(
+        self, tiny_script, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        assert main([
+            "profile", "--quiet-script",
+            "--max-trace-events", "2",
+            "--chrome-trace", str(trace),
+            tiny_script,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "truncated" in out
+        payload = json.loads(trace.read_text())
+        assert len(payload["traceEvents"]) == 2
+        assert payload["otherData"]["max_trace_events"] == 2
+        assert payload["otherData"]["truncated"] is True
+        assert payload["otherData"]["dropped_events"] > 0
+
+    def test_method_table_reports_latency_quantiles(
+        self, tiny_script, capsys
+    ):
+        assert main([
+            "profile", "--quiet-script", "--chrome-trace", "none",
+            tiny_script,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p50 ns" in out and "p95 ns" in out and "p99 ns" in out
+
     def test_json_to_stdout(self, tiny_script, capsys):
         assert main([
             "profile", "--quiet-script", "--chrome-trace", "none",

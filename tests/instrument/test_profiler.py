@@ -27,10 +27,10 @@ class _Process:
         self.name = name
 
 
-def _profiled_bus():
+def _profiled_bus(**kwargs):
     bus = ProbeBus()
     clock = FakeClock()
-    profiler = WallClockProfiler(clock=clock).attach(bus)
+    profiler = WallClockProfiler(clock=clock, **kwargs).attach(bus)
     return bus, clock, profiler
 
 
@@ -122,6 +122,51 @@ class TestChromeTrace:
         assert len(report.trace_events) == 2
         assert report.dropped_events == 3
         assert "dropped" in report.render()
+
+    def test_trace_cap_is_configurable_per_profiler(self):
+        bus, clock, profiler = _profiled_bus(max_trace_events=3)
+        proc = _Process("top.p")
+        for __ in range(5):
+            bus.process_activate(0, proc)
+            clock.advance(0.001)
+            bus.process_suspend(0, proc)
+        report = profiler.report()
+        assert len(report.trace_events) == 3
+        assert report.dropped_events == 2
+        assert report.max_trace_events == 3
+        assert "--max-trace-events" in report.render()
+
+    def test_trace_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WallClockProfiler(clock=FakeClock(), max_trace_events=0)
+
+    def test_truncation_metadata_is_explicit(self, tmp_path):
+        bus, clock, profiler = _profiled_bus(max_trace_events=1)
+        proc = _Process("top.p")
+        for __ in range(3):
+            bus.process_activate(0, proc)
+            clock.advance(0.001)
+            bus.process_suspend(0, proc)
+        path = tmp_path / "trace.json"
+        profiler.report().write_chrome_trace(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["truncated"] is True
+        assert payload["otherData"]["dropped_events"] == 2
+        assert payload["otherData"]["max_trace_events"] == 1
+
+    def test_write_time_cap_drops_overflow(self, tmp_path):
+        from repro.instrument.profiler import write_chrome_trace
+
+        events = [
+            {"name": f"e{i}", "ph": "X", "ts": i, "dur": 1}
+            for i in range(5)
+        ]
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), events, max_trace_events=2)
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 2
+        assert payload["otherData"]["dropped_events"] == 3
+        assert payload["otherData"]["truncated"] is True
 
     def test_write_chrome_trace(self, tmp_path):
         bus, clock, profiler = _profiled_bus()

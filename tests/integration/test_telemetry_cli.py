@@ -1,0 +1,94 @@
+"""End-to-end CLI coverage for the telemetry surfaces.
+
+``report --matrix`` scorecards, ``fault --telemetry/--flight-record/
+--progress-json`` and the ``telemetry`` replay command, all through
+``python -m repro``'s real argument parser.
+"""
+
+import json
+
+from repro.__main__ import main
+
+
+class TestReportMatrixCli:
+    def test_scorecard_table(self, capsys):
+        assert main([
+            "--bus", "pci", "--commands", "4", "report", "--matrix",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "communication scorecard: seed 55" in out
+        assert "(reference)" in out
+        for level in ("functional", "synthesized", "compiled"):
+            assert level in out
+        for column in ("util", "beats/cyc", "p50 ns", "p95 ns", "p99 ns"):
+            assert column in out
+
+    def test_scorecard_json(self, capsys):
+        assert main([
+            "--bus", "tlmgp", "--commands", "3",
+            "report", "--matrix", "--format", "json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["seed"] == 55
+        assert document["buses"] == ["tlmgp"]
+        assert len(document["cells"]) == 3
+        for cell in document["cells"]:
+            assert cell["transactions"] > 0
+            assert "p99" in cell["latency"]
+
+    def test_scorecard_markdown(self, capsys):
+        assert main([
+            "--bus", "tlmgp", "--commands", "3",
+            "report", "--matrix", "--format", "markdown",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("| bus | level |")
+        assert all(line.startswith("|") for line in lines)
+
+
+class TestFaultTelemetryCli:
+    def test_telemetry_flag_adds_report_line(self, capsys):
+        assert main([
+            "--seed", "11", "fault", "--runs", "4", "--workers", "1",
+            "--telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+
+    def test_progress_json_mirror(self, capsys, tmp_path):
+        path = tmp_path / "progress.json"
+        assert main([
+            "--seed", "11", "fault", "--runs", "4", "--workers", "1",
+            "--progress-json", str(path),
+        ]) == 0
+        document = json.loads(path.read_text())
+        assert document["done"] is True
+        assert document["completed"] == 4
+        assert sum(document["classifications"].values()) == 4
+
+    def test_flight_record_then_replay(self, capsys, tmp_path):
+        directory = tmp_path / "records"
+        assert main([
+            "--seed", "11", "fault", "--runs", "2", "--workers", "1",
+            "--flight-record", str(directory),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flight records:" in out
+        record = directory / "run000.jsonl"
+        assert record.exists()
+
+        chrome = tmp_path / "replay.trace.json"
+        assert main([
+            "telemetry", str(record), "--tail", "5",
+            "--chrome", str(chrome),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== flight record ==" in out
+        assert "run.end" in out
+        payload = json.loads(chrome.read_text())
+        assert "traceEvents" in payload
+
+    def test_replay_rejects_missing_file(self, capsys, tmp_path):
+        assert main([
+            "telemetry", str(tmp_path / "does-not-exist.jsonl"),
+        ]) == 2

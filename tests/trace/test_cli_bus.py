@@ -1,0 +1,63 @@
+"""``spans --diff`` must honor the global ``--bus`` family flag."""
+
+import json
+
+from repro.__main__ import main
+from repro.core import generate_workload
+from repro.trace.cli import diff_levels
+
+
+class TestDiffBusSelection:
+    def test_diff_levels_accepts_other_families(self):
+        workload = generate_workload(seed=55, n_commands=3)
+        diff, __, __ = diff_levels(
+            "pin_accurate", "post_synthesis", workload, bus="wishbone"
+        )
+        assert diff.consistent
+        assert len(diff.matched_entries) == 3
+
+    def test_cli_bus_flag_reaches_the_diff(self, capsys):
+        code = main([
+            "--bus", "wishbone",
+            "spans", "--diff", "pin_accurate", "post_synthesis",
+            "--n-commands", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bus wishbone" in out
+        assert "CONSISTENT" in out
+
+    def test_cli_defaults_to_pci(self, capsys):
+        code = main([
+            "spans", "--diff", "pin_accurate", "post_synthesis",
+            "--n-commands", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bus pci" in out
+
+    def test_functional_bus_is_rejected(self, capsys):
+        code = main([
+            "--bus", "functional",
+            "spans", "--diff", "pin_accurate", "post_synthesis",
+            "--n-commands", "3",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "functional" in err
+
+    def test_bus_choice_changes_measured_latency(self, tmp_path):
+        """Different families genuinely produce different span forests."""
+        totals = {}
+        for bus in ("pci", "axi4lite"):
+            path = tmp_path / f"{bus}.json"
+            code = main([
+                "--bus", bus,
+                "spans", "--diff", "pin_accurate", "post_synthesis",
+                "--n-commands", "3", "--json", str(path),
+            ])
+            assert code == 0
+            totals[bus] = json.loads(path.read_text())["attribution_b"][
+                "total"
+            ]
+        assert totals["pci"] != totals["axi4lite"]
