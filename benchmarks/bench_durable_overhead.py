@@ -1,0 +1,147 @@
+"""CI guard: durability must cost nothing when it is off.
+
+Runs the same small fault campaign twice — once with no journal, cache
+or resume (the shipping hot path) and once with a journal *and* a cold
+result cache active — and compares the *off* path against the
+checked-in calibrated baseline
+``benchmarks/durable_overhead_baseline.json``.
+
+As in ``bench_telemetry_overhead``, wall-clock time is normalized by a
+pure-Python calibration loop timed on the same host, so the stored
+"campaign costs K calibration units" number is comparable across runs.
+The off-path tolerance is deliberately tight (2%): with every durable
+argument at None, ``run_campaign`` must not even import the durable
+module, and this bench exists to keep it that way.
+
+Usage::
+
+    python benchmarks/bench_durable_overhead.py            # compare (CI)
+    python benchmarks/bench_durable_overhead.py --update   # rewrite baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.fault import demo_campaign_spec, run_campaign  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "durable_overhead_baseline.json")
+SEED = 55
+RUNS = 12
+REPEATS = 7
+CALIBRATION_LOOPS = 200_000
+
+
+def _spec():
+    return demo_campaign_spec(platform="pci", seed=SEED, runs=RUNS)
+
+
+def _campaign_run(durable: bool) -> float:
+    """One serial campaign; returns wall seconds."""
+    scratch = tempfile.mkdtemp(prefix="bench_durable_") if durable else None
+    try:
+        started = time.perf_counter()
+        result = run_campaign(
+            _spec(),
+            workers=1,
+            max_runs=RUNS,
+            journal_dir=os.path.join(scratch, "journal") if durable else None,
+            cache_dir=os.path.join(scratch, "cache") if durable else None,
+        )
+        elapsed = time.perf_counter() - started
+        assert len(result.outcomes) == RUNS, (
+            f"expected {RUNS} outcomes, got {len(result.outcomes)}"
+        )
+        return elapsed
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _calibrate() -> float:
+    acc = 0
+    started = time.perf_counter()
+    for i in range(CALIBRATION_LOOPS):
+        acc += i % 7
+    elapsed = time.perf_counter() - started
+    assert acc > 0
+    return elapsed
+
+
+def measure() -> dict:
+    calibration = min(_calibrate() for __ in range(REPEATS))
+    off = min(_campaign_run(False) for __ in range(REPEATS))
+    on = min(_campaign_run(True) for __ in range(REPEATS))
+    return {
+        "workload": {
+            "seed": SEED,
+            "runs": RUNS,
+            "calibration_loops": CALIBRATION_LOOPS,
+        },
+        "calibration_seconds": calibration,
+        "off_seconds": off,
+        "on_seconds": on,
+        "normalized_off": off / calibration,
+        "normalized_on": on / calibration,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed durability-off slowdown vs baseline "
+                             "(default 0.02 = 2%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args(argv)
+
+    result = measure()
+    ratio = result["normalized_on"] / result["normalized_off"]
+    print(f"demo campaign ({RUNS} runs, best of {REPEATS}):")
+    print(f"  durability off: {result['off_seconds'] * 1e3:8.2f} ms "
+          f"({result['normalized_off']:.2f} calibration units)")
+    print(f"  journal+cache:  {result['on_seconds'] * 1e3:8.2f} ms "
+          f"({result['normalized_on']:.2f} calibration units, "
+          f"{ratio:.2f}x off)")
+
+    if args.update:
+        with open(args.baseline, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 1
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    reference = baseline["normalized_off"]
+    limit = reference * (1.0 + args.tolerance)
+    print(f"  baseline off: {reference:.2f} units, "
+          f"limit {limit:.2f} (+{args.tolerance:.0%})")
+    if result["normalized_off"] > limit:
+        print("FAIL: durability-off hot path regressed "
+              f"({result['normalized_off']:.2f} > {limit:.2f})",
+              file=sys.stderr)
+        return 1
+    print("OK: durability-off cost within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,14 +13,17 @@ Commands:
   report (add ``--verilog`` / ``--vhdl`` to print the generated HDL);
   ``report --matrix`` instead runs the telemetry-enabled swap matrix
   and prints the bus x level communication scorecard
-  (``--format table|json|markdown``).
+  (``--format table|json|markdown``; ``--fault-runs N`` adds the
+  per-fault-family detection table).
 * ``telemetry``   — replay flight-recorder JSONL dumps into the
   timeline/JSON/Chrome renderers (``--tail``, ``--json``,
   ``--chrome``).
 * ``lint``        — static design-rule checks over the example platforms
   (``--strict``, ``--suppress RULE[@GLOB]``, ``--list-rules``).
 * ``fault``       — run a fault-injection campaign and print detection
-  coverage (``--platform``, ``--runs``, ``--workers``, ``--json``).
+  coverage (``--platform``, ``--runs``, ``--workers``, ``--json``;
+  ``--journal DIR`` / ``--resume`` / ``--cache DIR`` make campaigns
+  crash-safe, resumable and content-addressed).
 * ``profile``     — execute a script under the probe-bus profiler and
   print hot processes, method histograms and a Chrome trace
   (``--top``, ``--json``, ``--chrome-trace``).
@@ -121,6 +124,8 @@ def _cmd_refine(args: argparse.Namespace) -> int:
 def _cmd_matrix(args: argparse.Namespace) -> int:
     from .iface.matrix import DEFAULT_BUSES, run_swap_matrix
 
+    from .fault.runner import resolve_workers
+
     buses = DEFAULT_BUSES if args.bus is None else (_effective_bus(args),)
     report = run_swap_matrix(
         seed=args.seed if args.seed is not None else 55,
@@ -128,6 +133,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         buses=buses,
         config=_platform_config(args),
         fault_runs=args.fault_runs,
+        fault_workers=resolve_workers(args.workers)
+        if args.fault_runs else 1,
     )
     print(report.render())
     return 0 if report.all_consistent else 1
@@ -243,6 +250,7 @@ def _cmd_report_matrix(args: argparse.Namespace) -> int:
     latency quantiles per bus family x refinement level)."""
     import json
 
+    from .fault.runner import resolve_workers
     from .iface.matrix import DEFAULT_BUSES, run_swap_matrix
 
     buses = DEFAULT_BUSES if args.bus is None else (_effective_bus(args),)
@@ -251,6 +259,9 @@ def _cmd_report_matrix(args: argparse.Namespace) -> int:
         n_commands=args.commands,
         buses=buses,
         config=_platform_config(args),
+        fault_runs=args.fault_runs,
+        fault_workers=resolve_workers(args.workers)
+        if args.fault_runs else 1,
         telemetry=True,
     )
     card = matrix.scorecard()
@@ -306,6 +317,11 @@ def main(argv: "list[str] | None" = None) -> int:
     matrix.add_argument("--fault-runs", type=int, default=0,
                         help="also run about this many demo fault-campaign "
                              "runs per bus family (default 0 = skip)")
+    matrix.add_argument("--workers", type=int, default=0,
+                        help="worker processes per fault-leg campaign "
+                             "(0 = serial, the default; REPRO_MAX_WORKERS "
+                             "caps any request; counts are identical "
+                             "either way)")
     waveforms = sub.add_parser("waveforms", help="Figure 4 waveform dump")
     waveforms.add_argument("--vcd", default="repro_waveforms.vcd",
                            help="output VCD path")
@@ -327,6 +343,15 @@ def main(argv: "list[str] | None" = None) -> int:
                         default="table",
                         help="scorecard output format for --matrix "
                              "(default table)")
+    report.add_argument("--fault-runs", type=int, default=0,
+                        help="with --matrix: also run about this many demo "
+                             "fault-campaign runs per bus family and add "
+                             "the per-fault-family detection table to the "
+                             "scorecard (default 0 = skip)")
+    report.add_argument("--workers", type=int, default=0,
+                        help="with --matrix --fault-runs: worker processes "
+                             "per fault-leg campaign (0 = serial, the "
+                             "default; REPRO_MAX_WORKERS caps any request)")
     fault = sub.add_parser("fault", help="run a fault-injection campaign")
     from .fault import cli as fault_cli
 

@@ -66,6 +66,16 @@ class CheckpointError(ReproError):
     """
 
 
+class JournalError(ReproError):
+    """A campaign journal could not be created, read or resumed.
+
+    Raised for mid-file corruption (a line whose checksum does not match
+    anywhere but the torn tail), a missing or unreadable header, and a
+    spec-hash mismatch on resume — a journal written for a different
+    campaign must be refused, never silently recomputed.
+    """
+
+
 class SynthesisError(ReproError):
     """The communication synthesis tool rejected or mis-lowered a design."""
 

@@ -9,6 +9,7 @@ faulty platform against a golden reference, and reports detection
 coverage.
 """
 
+from ..errors import JournalError
 from .campaign import (
     BENIGN,
     CLASSIFICATIONS,
@@ -40,6 +41,14 @@ from .models import (
     TransientGlitchFault,
     make_fault,
 )
+from .durable import (
+    CACHEABLE_CLASSIFICATIONS,
+    CacheEntry,
+    CampaignJournal,
+    ResultCache,
+    campaign_content_hash,
+    campaign_fingerprint,
+)
 from .report import (
     per_kind_breakdown,
     recovery_rate,
@@ -48,7 +57,12 @@ from .report import (
     report_as_dict,
     report_as_json,
 )
-from .runner import CampaignResult, default_workers, run_campaign
+from .runner import (
+    CampaignResult,
+    default_workers,
+    resolve_workers,
+    run_campaign,
+)
 from .spec import (
     PLATFORMS,
     CampaignSpec,
@@ -61,6 +75,7 @@ from .spec import (
 
 __all__ = [
     "BENIGN",
+    "CACHEABLE_CLASSIFICATIONS",
     "CLASSIFICATIONS",
     "DETECTED",
     "ERROR",
@@ -71,6 +86,8 @@ __all__ = [
     "TIMEOUT",
     "WORKER_ERROR",
     "BitFlipFault",
+    "CacheEntry",
+    "CampaignJournal",
     "CampaignResult",
     "CampaignSpec",
     "CommandCorruptionFault",
@@ -80,11 +97,15 @@ __all__ = [
     "FaultModel",
     "FaultSpec",
     "GoldenReference",
+    "JournalError",
+    "ResultCache",
     "RunOutcome",
     "RunSpec",
     "StuckAtFault",
     "TransientGlitchFault",
     "build_campaign_platform",
+    "campaign_content_hash",
+    "campaign_fingerprint",
     "classify_counts",
     "default_workers",
     "demo_campaign_spec",
@@ -101,6 +122,7 @@ __all__ = [
     "render_report",
     "report_as_dict",
     "report_as_json",
+    "resolve_workers",
     "run_campaign",
     "run_golden",
 ]

@@ -136,7 +136,13 @@ class RunOutcome:
             f" -> {self.classification})"
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self, canonical: bool = False) -> dict:
+        """JSON-ready document of this outcome.
+
+        :param canonical: zero the wall-clock field — the one
+            machine-dependent value — so serial, parallel and
+            interrupted-then-resumed campaigns serialize byte-identically.
+        """
         return {
             "run_id": self.run_id,
             "kind": self.kind,
@@ -146,7 +152,7 @@ class RunOutcome:
             "detail": self.detail,
             "activations": self.activations,
             "detections": self.detections,
-            "wall_seconds": round(self.wall_seconds, 6),
+            "wall_seconds": 0.0 if canonical else round(self.wall_seconds, 6),
             "sim_time": self.sim_time,
             "spans_assembled": self.spans_assembled,
             "span_mean_latency": self.span_mean_latency,
@@ -154,6 +160,29 @@ class RunOutcome:
             "recovery_latency": self.recovery_latency,
             "telemetry": self.score,
         }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "RunOutcome":
+        """Rebuild an outcome from :meth:`to_dict` (journal replay and
+        result-cache hits travel through this)."""
+        window = document.get("window")
+        return cls(
+            int(document["run_id"]),
+            str(document["kind"]),
+            str(document["target"]),
+            tuple(window) if window else None,
+            str(document["classification"]),
+            detail=str(document.get("detail", "")),
+            activations=int(document.get("activations", 0)),
+            detections=int(document.get("detections", 0)),
+            wall_seconds=float(document.get("wall_seconds", 0.0)),
+            sim_time=int(document.get("sim_time", 0)),
+            spans_assembled=int(document.get("spans_assembled", 0)),
+            span_mean_latency=int(document.get("span_mean_latency", 0)),
+            recovery_events=int(document.get("recovery_events", 0)),
+            recovery_latency=int(document.get("recovery_latency", 0)),
+            score=document.get("telemetry"),
+        )
 
 
 def build_campaign_platform(spec: CampaignSpec) -> PlatformBundle:

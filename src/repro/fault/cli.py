@@ -5,8 +5,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..errors import JournalError
 from .report import render_report, report_as_json
-from .runner import default_workers, run_campaign
+from .runner import resolve_workers, run_campaign
 from .spec import PLATFORMS, demo_campaign_spec
 
 
@@ -22,7 +23,8 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: half the cores, capped at 8; "
-             "1 = serial)",
+             "0 = serial in-process; the REPRO_MAX_WORKERS environment "
+             "variable is a hard ceiling over both)",
     )
     parser.add_argument(
         "--timeout", type=float, default=30.0,
@@ -31,6 +33,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json", action="store_true",
         help="emit the full JSON report instead of the table",
+    )
+    parser.add_argument(
+        "--canonical", action="store_true",
+        help="with --json: emit only content fields (no wall clock, "
+             "workers, cache counters), sorted keys — byte-identical "
+             "across serial/parallel/resumed execution",
     )
     parser.add_argument(
         "--verbose", action="store_true",
@@ -73,6 +81,28 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="dump every run's flight-recorder ring as "
              "DIR/run<NNN>.jsonl (replay with 'python -m repro "
              "telemetry')",
+    )
+    parser.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="keep a crash-safe journal of every outcome under DIR; "
+             "an interrupted or killed campaign resumes with --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the campaign journaled under --journal DIR: "
+             "replay completed outcomes, re-run only missing and "
+             "quarantined runs, append to the same journal",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="content-addressed result cache root; an identical "
+             "re-invocation is served from it with zero simulator runs",
+    )
+    parser.add_argument(
+        "--inject-crash", metavar="IDS", default=None,
+        help="chaos knob: comma-separated run ids whose workers "
+             "hard-exit (exercises the self-healing pool, the journal "
+             "and the resume path)",
     )
     parser.add_argument(
         "--live", action="store_true",
@@ -118,6 +148,9 @@ def run(args: argparse.Namespace) -> int:
             "against; use --platform pci, wishbone, axi4lite or tlmgp"
         )
         return 2
+    if args.resume and not args.journal:
+        print("fault: --resume needs --journal DIR", file=sys.stderr)
+        return 2
     spec = demo_campaign_spec(
         platform=args.platform, seed=seed, runs=args.runs
     )
@@ -128,6 +161,18 @@ def run(args: argparse.Namespace) -> int:
     spec.backend = args.backend
     spec.telemetry = args.telemetry
     spec.flight_record_dir = args.flight_record
+    if args.inject_crash:
+        try:
+            spec.crash_run_ids = tuple(
+                int(part) for part in args.inject_crash.split(",") if part
+            )
+        except ValueError:
+            print(
+                f"fault: --inject-crash wants comma-separated run ids, "
+                f"got {args.inject_crash!r}",
+                file=sys.stderr,
+            )
+            return 2
     if args.lint:
         from ..lint import lint_campaign
 
@@ -135,20 +180,34 @@ def run(args: argparse.Namespace) -> int:
         print(report.render())
         if report.errors:
             return 1
-    workers = args.workers if args.workers is not None else default_workers()
+    workers = resolve_workers(args.workers)
     monitor = _build_monitor(args)
-    result = run_campaign(
-        spec, workers=workers, max_runs=args.runs, monitor=monitor
-    )
+    try:
+        result = run_campaign(
+            spec,
+            workers=workers,
+            max_runs=args.runs,
+            monitor=monitor,
+            journal_dir=None if args.resume else args.journal,
+            resume_from=args.journal if args.resume else None,
+            cache_dir=args.cache,
+        )
+    except JournalError as error:
+        print(f"fault: {error}", file=sys.stderr)
+        return 2
     if monitor is not None and args.live and sys.stderr.isatty():
         sys.stderr.write("\n")
     if args.json:
-        print(report_as_json(result))
+        print(report_as_json(result, canonical=args.canonical))
     else:
         print(render_report(result, verbose=args.verbose))
         if args.flight_record:
             print(f"\nflight records: {args.flight_record}/run*.jsonl "
                   "(replay with 'python -m repro telemetry <file>')")
+    if result.interrupted:
+        # The partial report above is real; the exit code still says
+        # "cut short" the way shells expect (128 + SIGINT).
+        return 130
     if any(
         o.classification in ("error", "worker_error")
         for o in result.outcomes

@@ -115,6 +115,7 @@ def render_report(result: CampaignResult, verbose: bool = False) -> str:
              row[BENIGN], row[RECOVERED], kind_coverage]
         )
     restarts = getattr(result, "pool_restarts", 0)
+    planned = getattr(result, "planned_runs", len(result.outcomes))
     lines = [
         f"fault campaign {result.spec.name!r} "
         f"(platform={result.spec.platform}, seed={result.spec.seed})",
@@ -122,6 +123,28 @@ def render_report(result: CampaignResult, verbose: bool = False) -> str:
         f"wall: {result.wall_seconds:.2f}s  "
         f"({result.runs_per_second:.1f} runs/s)"
         + (f"  pool restarts: {restarts}" if restarts else ""),
+    ]
+    if getattr(result, "interrupted", False):
+        lines.append(
+            f"  INTERRUPTED: {len(result.outcomes)}/{planned} runs "
+            "completed before the interrupt; resume with "
+            "--journal DIR --resume"
+        )
+    durable_bits = []
+    if getattr(result, "resumed", 0):
+        durable_bits.append(f"resumed {result.resumed} journaled outcomes")
+    if getattr(result, "cache_hits", 0) or getattr(result, "cache_misses", 0):
+        durable_bits.append(
+            f"cache {result.cache_hits} hits / "
+            f"{result.cache_misses} misses"
+        )
+    if getattr(result, "serial_fallback_runs", 0):
+        durable_bits.append(
+            f"serial fallback absorbed {result.serial_fallback_runs} runs"
+        )
+    if durable_bits:
+        lines.append("  durability: " + ", ".join(durable_bits))
+    lines += [
         "",
         _format_table(
             ["fault", "runs", "detected", "silent", "benign", "recovered",
@@ -180,22 +203,27 @@ def render_report(result: CampaignResult, verbose: bool = False) -> str:
     return "\n".join(lines)
 
 
-def report_as_dict(result: CampaignResult) -> dict:
-    """JSON-ready document of the whole campaign."""
-    return {
+def report_as_dict(result: CampaignResult, canonical: bool = False) -> dict:
+    """JSON-ready document of the whole campaign.
+
+    :param canonical: drop every machine- and schedule-dependent field
+        (wall clock, throughput, worker count, pool restarts, cache and
+        resume counters, the interrupted flag; per-outcome wall times
+        are zeroed). Two canonical documents are byte-identical iff the
+        campaigns produced the same *content* — the contract the
+        durability tests and CI smoke assert across serial, parallel
+        and interrupted-then-resumed execution.
+    """
+    document = {
         "campaign": result.spec.name,
         "platform": result.spec.platform,
         "seed": result.spec.seed,
         "runs": len(result.outcomes),
-        "workers": result.workers,
-        "wall_seconds": round(result.wall_seconds, 4),
-        "runs_per_second": round(result.runs_per_second, 3),
         "classifications": classify_counts(result.outcomes),
         "detection_coverage": detection_coverage(result.outcomes),
         "resilience": result.spec.resilience,
         "recovery_rate": recovery_rate(result.outcomes),
         "recovery": recovery_stats(result.outcomes),
-        "pool_restarts": getattr(result, "pool_restarts", 0),
         "telemetry": (
             None if (merged := merged_telemetry(result)) is None
             else merged.to_dict()
@@ -207,9 +235,34 @@ def report_as_dict(result: CampaignResult) -> dict:
                 len(t) for t in result.golden.traces.values()
             ),
         },
-        "outcomes": [o.to_dict() for o in result.outcomes],
+        "outcomes": [o.to_dict(canonical=canonical) for o in result.outcomes],
     }
+    if not canonical:
+        document.update({
+            "workers": result.workers,
+            "wall_seconds": round(result.wall_seconds, 4),
+            "runs_per_second": round(result.runs_per_second, 3),
+            "pool_restarts": getattr(result, "pool_restarts", 0),
+            "interrupted": getattr(result, "interrupted", False),
+            "planned_runs": getattr(
+                result, "planned_runs", len(result.outcomes)
+            ),
+            "resumed": getattr(result, "resumed", 0),
+            "cache_hits": getattr(result, "cache_hits", 0),
+            "cache_misses": getattr(result, "cache_misses", 0),
+            "serial_fallback_runs": getattr(
+                result, "serial_fallback_runs", 0
+            ),
+            "content_hash": getattr(result, "content_hash", None),
+        })
+    return document
 
 
-def report_as_json(result: CampaignResult, indent: int = 2) -> str:
-    return json.dumps(report_as_dict(result), indent=indent)
+def report_as_json(
+    result: CampaignResult, indent: int = 2, canonical: bool = False
+) -> str:
+    return json.dumps(
+        report_as_dict(result, canonical=canonical),
+        indent=indent,
+        sort_keys=canonical,
+    )

@@ -61,6 +61,17 @@ class FaultSpec:
     def target_kind(self) -> str:
         return FAULT_KINDS[self.kind].target_kind
 
+    def to_dict(self) -> dict:
+        """Plain-data form, stable enough to content-hash (the durable
+        layer folds every fault line into the campaign spec hash)."""
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "window": list(self.window) if self.window else None,
+            "repeats": self.repeats,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+        }
+
     def __repr__(self) -> str:
         return f"FaultSpec({self.kind} @ {self.target!r} x{self.repeats})"
 

@@ -107,6 +107,9 @@ class SwapMatrixReport:
         self.cells: list[MatrixCell] = []
         #: bus family -> fault classification counts (fault leg only).
         self.fault_counts: dict[str, dict[str, int]] = {}
+        #: bus family -> fault kind -> classification counts, the
+        #: per-family detection breakdown the scorecard renders.
+        self.fault_families: dict[str, dict[str, dict[str, int]]] = {}
         #: The functional reference run's gauges (telemetry sweeps only).
         self.reference_score = None
 
@@ -168,6 +171,21 @@ class SwapMatrixReport:
                     f"{k}={v}" for k, v in sorted(counts.items()) if v
                 )
                 lines.append(f"{bus:<{bus_width}}  {shown}")
+                for family, row in sorted(
+                    self.fault_families.get(bus, {}).items()
+                ):
+                    detected = row.get("detected", 0)
+                    effective = detected + row.get("silent", 0)
+                    coverage = (
+                        f"{detected / effective:.0%}" if effective else "n/a"
+                    )
+                    shown = ", ".join(
+                        f"{k}={v}" for k, v in sorted(row.items()) if v
+                    )
+                    lines.append(
+                        f"{'':<{bus_width}}    {family}: {shown} "
+                        f"(coverage {coverage})"
+                    )
         lines.append("")
         status = "ALL CONSISTENT" if self.all_consistent else "FAILURES"
         lines.append(f"{len(self.cells)} cells: {status}")
@@ -184,6 +202,10 @@ class SwapMatrixReport:
             "fault_counts": {
                 bus: dict(counts)
                 for bus, counts in self.fault_counts.items()
+            },
+            "fault_families": {
+                bus: {kind: dict(row) for kind, row in families.items()}
+                for bus, families in self.fault_families.items()
             },
             "scorecard": (
                 None if (card := self.scorecard()) is None
@@ -265,6 +287,7 @@ def run_swap_matrix(
     config=None,
     max_time: int = 200 * MS,
     fault_runs: int = 0,
+    fault_workers: int = 1,
     telemetry: bool = False,
 ) -> SwapMatrixReport:
     """Sweep ``bus × level`` over one workload; verify every cell.
@@ -274,7 +297,10 @@ def run_swap_matrix(
         reference and every cell.
     :param fault_runs: when > 0, additionally run the stock demo fault
         campaign (scaled to about this many runs) once per bus family
-        and record the classification counts.
+        and record the classification counts plus the per-fault-family
+        detection breakdown.
+    :param fault_workers: worker processes per fault-leg campaign
+        (1 = serial; the counts are identical either way).
     :param telemetry: attach a
         :class:`~repro.telemetry.scorecard.ScorecardProbe` to the
         reference and every cell, populating ``cell.score`` /
@@ -332,7 +358,9 @@ def run_swap_matrix(
             cell.wall_seconds = _time.perf_counter() - started
 
     if fault_runs > 0:
-        report.fault_counts = _fault_leg(report.buses, seed, fault_runs)
+        report.fault_counts, report.fault_families = _fault_leg(
+            report.buses, seed, fault_runs, workers=fault_workers
+        )
     return report
 
 
@@ -347,17 +375,27 @@ def _cell_synthesis_config(level: str, config):
 
 
 def _fault_leg(
-    buses: typing.Sequence[str], seed: int, runs: int
-) -> dict[str, dict[str, int]]:
+    buses: typing.Sequence[str],
+    seed: int,
+    runs: int,
+    workers: int = 1,
+) -> tuple[dict[str, dict[str, int]], dict[str, dict[str, dict[str, int]]]]:
+    """Run the demo campaign per bus; returns ``(classification counts,
+    per-fault-family breakdown)``, both keyed by bus family."""
     from collections import Counter
 
-    from ..fault import demo_campaign_spec, run_campaign
+    from ..fault import demo_campaign_spec, per_kind_breakdown, run_campaign
 
     counts: dict[str, dict[str, int]] = {}
+    families: dict[str, dict[str, dict[str, int]]] = {}
     for bus in buses:
         spec = demo_campaign_spec(platform=bus, seed=seed, runs=runs)
-        result = run_campaign(spec, workers=1)
+        result = run_campaign(spec, workers=workers)
         counts[bus] = dict(
             Counter(outcome.classification for outcome in result.outcomes)
         )
-    return counts
+        families[bus] = {
+            kind: {c: n for c, n in row.items() if n}
+            for kind, row in per_kind_breakdown(result).items()
+        }
+    return counts, families

@@ -28,7 +28,13 @@ from __future__ import annotations
 
 import typing
 
-from .checkpoint import KernelCheckpoint, ReplayCheckpointer, capture, restore
+from .checkpoint import (
+    KernelCheckpoint,
+    ReplayCheckpointer,
+    capture,
+    restore,
+    stable_content_hash,
+)
 from .policy import (
     ALL_METHODS,
     RetryPolicy,
@@ -121,4 +127,5 @@ __all__ = [
     "communication_progress",
     "default_guard_policy",
     "restore",
+    "stable_content_hash",
 ]

@@ -26,6 +26,8 @@ over :func:`capture` / :func:`restore`.
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 import typing
 from collections import deque
 
@@ -34,6 +36,22 @@ from ..hdl.resolved import ResolvedSignal
 from ..hdl.signal import Signal
 
 _PLAIN_TYPES = (int, float, str, bool, bytes, type(None))
+
+
+def stable_content_hash(document: object) -> str:
+    """SHA-256 hex digest of a canonical JSON encoding of *document*.
+
+    The encoding is sorted-key, compact-separator JSON with non-JSON
+    leaves rendered through ``str``, so the digest is stable across
+    processes and sessions for any picklable plain-data tree. This is
+    the one content-address primitive shared by checkpoint signatures
+    and the durable campaign layer (journal spec hashes, result-cache
+    keys).
+    """
+    payload = json.dumps(
+        document, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _space_signature(state: object) -> tuple:
@@ -85,6 +103,15 @@ class KernelCheckpoint:
             tuple(sorted(self.space_signatures.items())),
             tuple(sorted(self.process_done.items())),
         )
+
+    def content_hash(self) -> str:
+        """Content address of this checkpoint's observable state.
+
+        Two checkpoints compare equal iff their content hashes match,
+        which makes the hash usable as a cache/journal key where the
+        full signature tuple would be unwieldy.
+        """
+        return stable_content_hash(self.signature())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, KernelCheckpoint):

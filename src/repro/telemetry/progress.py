@@ -74,6 +74,11 @@ class CampaignProgress:
         #: worker pid -> (run_id or None, wall time of last beat)
         self.workers: dict[int, tuple[int | None, float]] = {}
         self.heartbeats = 0
+        #: Durable-layer counters: outcomes replayed from a resumed
+        #: journal and result-cache traffic (hits skip the simulator).
+        self.resumed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -110,6 +115,16 @@ class CampaignProgress:
         self.classifications[classification] = (
             self.classifications.get(classification, 0) + 1
         )
+
+    def record_resumed(self, count: int) -> None:
+        """Note *count* outcomes replayed from a journal (they still
+        flow through :meth:`record_outcome` like any other)."""
+        self.resumed += count
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        """Fold in the result-cache tally of a campaign start."""
+        self.cache_hits += hits
+        self.cache_misses += misses
 
     def drain(self, channel) -> int:
         """Non-blocking drain of the worker heartbeat queue."""
@@ -194,6 +209,9 @@ class CampaignProgress:
             "classifications": dict(sorted(self.classifications.items())),
             "recovery_rate": None if recovery is None else round(recovery, 4),
             "heartbeats": self.heartbeats,
+            "resumed": self.resumed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "workers": {
                 str(pid): {"run_id": run_id}
                 for pid, (run_id, __) in sorted(self.workers.items())
@@ -216,6 +234,10 @@ class CampaignProgress:
         recovery = self.recovery_rate
         if recovery is not None:
             parts.append(f"recovery {recovery:.0%}")
+        if self.resumed:
+            parts.append(f"resumed {self.resumed}")
+        if self.cache_hits or self.cache_misses:
+            parts.append(f"cache {self.cache_hits}h/{self.cache_misses}m")
         busy = sum(
             1 for run_id, __ in self.workers.values() if run_id is not None
         )

@@ -23,6 +23,7 @@ from __future__ import annotations
 import collections
 import itertools
 import json
+import os
 import typing
 
 from ..instrument import probes as _p
@@ -152,6 +153,34 @@ class FlightRecorder:
             stream.write(json.dumps(document, sort_keys=True) + "\n")
             for event in self._ring:
                 stream.write(json.dumps(event, sort_keys=True) + "\n")
+
+
+def write_post_mortem_stub(path, header: dict | None = None) -> None:
+    """Write a header-only flight record for a run that left no ring.
+
+    The campaign pool calls this for every ``worker_error`` run whose
+    worker hard-exited before its own ``finally`` could dump: the stub
+    keeps the record directory at one file per run, distinguishable
+    from a genuinely empty ring by ``post_mortem_stub: true``. Best
+    effort by contract — a full disk must never fail the campaign.
+    """
+    document = {
+        "type": "header",
+        "seen": 0,
+        "retained": 0,
+        "dropped": 0,
+        "post_mortem_stub": True,
+    }
+    if header:
+        document.update(header)
+    try:
+        directory = os.path.dirname(str(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(document, sort_keys=True) + "\n")
+    except OSError:
+        pass
 
 
 # -- per-kind payload summarizers ------------------------------------------------

@@ -401,6 +401,10 @@ class MatrixScorecard:
         levels: typing.Sequence[str],
         cells: typing.Sequence[CellScore],
         reference: CellScore | None = None,
+        fault_families: (
+            "typing.Mapping[str, typing.Mapping[str, typing.Mapping[str, int]]]"
+            " | None"
+        ) = None,
     ) -> None:
         self.seed = seed
         self.n_commands = n_commands
@@ -409,6 +413,12 @@ class MatrixScorecard:
         self.cells = list(cells)
         #: The functional reference run's score (not a matrix cell).
         self.reference = reference
+        #: Fault-leg detections per fault family:
+        #: ``{bus: {fault kind: {classification: count}}}``.
+        self.fault_families = {
+            bus: {kind: dict(row) for kind, row in families.items()}
+            for bus, families in (fault_families or {}).items()
+        }
 
     @classmethod
     def from_matrix(cls, report) -> "MatrixScorecard | None":
@@ -426,6 +436,7 @@ class MatrixScorecard:
             report.levels,
             cells,
             reference=getattr(report, "reference_score", None),
+            fault_families=getattr(report, "fault_families", None),
         )
 
     def cell(self, bus: str, level: str) -> CellScore | None:
@@ -467,6 +478,33 @@ class MatrixScorecard:
         leftovers = [s for s in self.cells if s not in ordered]
         return ordered + leftovers
 
+    _FAULT_HEADERS = (
+        "bus", "fault", "runs", "detected", "silent", "benign",
+        "recovered", "coverage",
+    )
+
+    def _fault_rows(self) -> list[list[str]]:
+        """Flattened fault-leg breakdown, one row per bus × family."""
+        rows: list[list[str]] = []
+        for bus in sorted(self.fault_families):
+            for kind, counts in sorted(self.fault_families[bus].items()):
+                detected = counts.get("detected", 0)
+                effective = detected + counts.get("silent", 0)
+                coverage = (
+                    f"{detected / effective:6.1%}" if effective else "   n/a"
+                )
+                rows.append([
+                    bus,
+                    kind,
+                    str(sum(counts.values())),
+                    str(detected),
+                    str(counts.get("silent", 0)),
+                    str(counts.get("benign", 0)),
+                    str(counts.get("recovered", 0)),
+                    coverage,
+                ])
+        return rows
+
     def render(self) -> str:
         rows = [self._row(score) for score in self._ordered()]
         if self.reference is not None:
@@ -489,6 +527,27 @@ class MatrixScorecard:
             lines.append(
                 "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
             )
+        fault_rows = self._fault_rows()
+        if fault_rows:
+            fault_widths = [
+                max(len(h), *(len(r[i]) for r in fault_rows))
+                for i, h in enumerate(self._FAULT_HEADERS)
+            ]
+            lines += [
+                "",
+                "-- fault detection per family --",
+                "  ".join(
+                    h.ljust(w)
+                    for h, w in zip(self._FAULT_HEADERS, fault_widths)
+                ),
+                "  ".join("-" * w for w in fault_widths),
+            ]
+            for row in fault_rows:
+                lines.append(
+                    "  ".join(
+                        c.ljust(w) for c, w in zip(row, fault_widths)
+                    ).rstrip()
+                )
         return "\n".join(lines)
 
     def render_markdown(self) -> str:
@@ -504,6 +563,17 @@ class MatrixScorecard:
             if score is self.reference:
                 cells[0] = "(reference)"
             lines.append("| " + " | ".join(cells) + " |")
+        fault_rows = self._fault_rows()
+        if fault_rows:
+            lines += [
+                "",
+                "| " + " | ".join(self._FAULT_HEADERS) + " |",
+                "| " + " | ".join("---" for __ in self._FAULT_HEADERS) + " |",
+            ]
+            for row in fault_rows:
+                lines.append(
+                    "| " + " | ".join(c.strip() for c in row) + " |"
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -516,4 +586,8 @@ class MatrixScorecard:
                 None if self.reference is None else self.reference.to_dict()
             ),
             "cells": [score.to_dict() for score in self._ordered()],
+            "fault_families": {
+                bus: {kind: dict(row) for kind, row in families.items()}
+                for bus, families in self.fault_families.items()
+            },
         }

@@ -89,6 +89,32 @@ class TestSweep:
         assert sum(counts.values()) >= 4
         assert "fault leg" in report.render()
 
+    def test_fault_leg_family_breakdown(self):
+        report = run_swap_matrix(
+            seed=55, n_commands=4, buses=("wishbone",),
+            levels=("functional",), fault_runs=8,
+        )
+        families = report.fault_families["wishbone"]
+        # Every demo fault family is represented and the breakdown
+        # reconciles with the flat classification counts.
+        assert set(families) >= {"bit_flip", "dropped_request"}
+        total = sum(sum(row.values()) for row in families.values())
+        assert total == sum(report.fault_counts["wishbone"].values())
+        assert "bit_flip" in report.render()
+        assert report.to_dict()["fault_families"]["wishbone"] == families
+
+    def test_fault_leg_parallel_counts_match_serial(self):
+        serial = run_swap_matrix(
+            seed=55, n_commands=4, buses=("wishbone",),
+            levels=("functional",), fault_runs=4,
+        )
+        parallel = run_swap_matrix(
+            seed=55, n_commands=4, buses=("wishbone",),
+            levels=("functional",), fault_runs=4, fault_workers=2,
+        )
+        assert parallel.fault_counts == serial.fault_counts
+        assert parallel.fault_families == serial.fault_families
+
 
 @pytest.mark.slow
 class TestFullMatrix:

@@ -228,3 +228,38 @@ class TestMatrixScorecard:
             "pci", "pci", "wishbone", "wishbone",
         ]
         assert document["seed"] == 55
+
+    _FAMILIES = {
+        "pci": {
+            "bit_flip": {"detected": 3, "silent": 1},
+            "glitch": {"benign": 2},
+        },
+        "wishbone": {
+            "bit_flip": {"detected": 2, "recovered": 1},
+        },
+    }
+
+    def _fault_card(self):
+        card = self._card()
+        return MatrixScorecard(
+            card.seed, card.n_commands, card.buses, card.levels,
+            card.cells, fault_families=self._FAMILIES,
+        )
+
+    def test_fault_family_table_renders(self):
+        text = self._fault_card().render()
+        assert "fault detection per family" in text
+        assert "bit_flip" in text
+        assert "75.0%" in text  # 3 detected / 4 effective on pci
+        # No fault leg, no table.
+        assert "fault detection" not in self._card().render()
+
+    def test_fault_family_markdown(self):
+        text = self._fault_card().render_markdown()
+        assert "| bus | fault | runs | detected |" in text
+        assert "| pci | glitch | 2 | 0 | 0 | 2 | 0 | n/a |" in text
+
+    def test_fault_families_in_dict(self):
+        document = self._fault_card().to_dict()
+        assert document["fault_families"] == self._FAMILIES
+        assert self._card().to_dict()["fault_families"] == {}
